@@ -1,0 +1,35 @@
+"""Benchmark harness helpers.
+
+Each benchmark regenerates one table/figure of the paper: it runs the
+experiment once under pytest-benchmark (pedantic, single round — the
+workloads are seconds-long simulations, not microbenchmarks), prints the
+same rows/series the paper reports, and asserts the paper's claims hold.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+
+def report(results, benchmark=None) -> None:
+    """Print experiment tables and stash headline numbers on the benchmark."""
+    for result in results:
+        print()
+        print(result.render())
+        if benchmark is not None:
+            for claim in result.claims:
+                benchmark.extra_info[f"{result.exp_id}:{claim.name}"] = (
+                    claim.measured
+                )
+
+
+def assert_claims(results) -> None:
+    failed = [
+        f"{r.exp_id}: {c.name} (paper {c.paper}, measured {c.measured})"
+        for r in results
+        for c in r.claims
+        if not c.holds
+    ]
+    assert not failed, "paper claims failed:\n" + "\n".join(failed)

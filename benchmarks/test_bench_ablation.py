@@ -1,0 +1,213 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. Dynamic adjusting on/off — what Section IV-C's block adaptation buys.
+2. Schedule-derived kernel timing vs the naive resource-count bound.
+3. DES vs analytic timing agreement (the model-reduction ablation).
+4. B-in-GSM caching vs streaming B from DDR (Alg. 4's design choice).
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.blocking import MPlan, adjust_m_plan
+from repro.core.ftimm import ftimm_gemm
+from repro.core.parallel_m import build_parallel_m
+from repro.core.shapes import GemmShape
+from repro.executor.analytic import analytic_parallel_m
+from repro.executor.timed import run_timed
+from repro.hw.config import default_machine
+from repro.isa.scheduler import resource_mii
+from repro.kernels.registry import registry_for
+
+CLUSTER = default_machine().cluster
+REGISTRY = registry_for(CLUSTER.core)
+
+
+def test_ablation_dynamic_adjusting(benchmark):
+    """Three rungs of the ftIMM ladder, per shape:
+
+    * full ftIMM (adjusted blocks + generated kernels),
+    * fixed initial blocks (generated kernels still adapt to tiles),
+    * padded kernels (adjusted blocks but TGEMM's fixed 6x96 kernel),
+      measured on ONE core — with eight cores these shapes are DDR-bound
+      and compute waste hides behind the memory wall.
+
+    Finding recorded in EXPERIMENTS.md: kernel auto-generation carries
+    the compute-side advantage (large on narrow N, single core);
+    block-size adjusting contributes a few percent on top (its bigger
+    role is enabling the right parallelization granularity).
+    """
+
+    shapes = [(65536, 32, 32), (65536, 96, 96), (20480, 16, 20480), (2**20, 8, 8)]
+    one_core = CLUSTER.with_cores(1)
+
+    def run():
+        rows = []
+        for m, n, k in shapes:
+            shape = GemmShape(m, n, k)
+            tuned = ftimm_gemm(m, n, k, timing="analytic", adjust=True, cores=1)
+            fixed = ftimm_gemm(m, n, k, timing="analytic", adjust=False, cores=1)
+            plan6 = adjust_m_plan(MPlan(m_s=6), shape, one_core)
+            padded = analytic_parallel_m(
+                shape, one_core, plan6, REGISTRY, kernel_style="tgemm"
+            )
+            rows.append(
+                [f"{m}x{n}x{k}", tuned.gflops, fixed.gflops, padded.gflops,
+                 tuned.gflops / padded.gflops]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["shape (1 core)", "full ftIMM", "fixed blocks", "padded kernel",
+         "kernel gain"],
+        rows,
+    ))
+    assert all(r[1] >= 0.95 * r[2] for r in rows), "adjusting must not hurt"
+    assert all(r[4] >= 1.0 for r in rows), "generated kernels never lose"
+    # deep-K narrow-N is compute-bound: the padding waste is fully exposed
+    deep_narrow = [r for r in rows if "20480x16" in r[0]]
+    assert all(r[4] > 1.3 for r in deep_narrow), (
+        "generated kernels must clearly beat padded kernels when compute-bound"
+    )
+
+
+def test_ablation_latency_hiding_tiling(benchmark):
+    """The generator's k_u > 1 latency-hiding rule vs naive k_u = 1.
+
+    For short-row kernels (m_s < t_fma) a single accumulator copy leaves
+    the FMAC recurrence exposed: the scheduler is forced to an II above
+    the resource bound.  The generator's extra accumulator copies recover
+    the loss — the exact motivation of Section IV-A2.
+    """
+    from repro.kernels.generator import generate_kernel
+    from repro.kernels.spec import KernelSpec
+
+    def run():
+        rows = []
+        for m_s in (1, 2, 3):
+            auto = REGISTRY.ftimm(m_s, 96, 512)
+            naive = generate_kernel(
+                KernelSpec(m_s, 96, 512), CLUSTER.core,
+                force_m_u=m_s, force_k_u=1, allow_block_adjust=False,
+            )
+            rows.append(
+                [f"{m_s}x96x512", naive.ii, auto.blocks[0].ii,
+                 naive.efficiency, auto.efficiency,
+                 auto.efficiency / naive.efficiency]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["kernel", "naive II", "auto II", "naive eff", "auto eff", "gain"],
+        rows,
+    ))
+    assert all(row[5] > 1.15 for row in rows), (
+        "k_u latency hiding must pay off for short rows"
+    )
+    # the fully saturated case hits the resource bound exactly either way
+    sat = REGISTRY.ftimm(8, 96, 512)
+    assert sat.ii == resource_mii(
+        sat.program.blocks[0].body, sat.body_schedules[0].units
+    )
+
+
+def test_ablation_des_vs_analytic(benchmark):
+    """The closed-form model vs full event-driven simulation."""
+
+    shapes = [(20000, 32, 32), (8192, 96, 512), (20480, 32, 2048)]
+
+    def run():
+        rows = []
+        for m, n, k in shapes:
+            shape = GemmShape(m, n, k)
+            plan = adjust_m_plan(MPlan(), shape, CLUSTER)
+            des = run_timed(
+                build_parallel_m(
+                    shape, CLUSTER, plan=plan, adjust=False, registry=REGISTRY
+                )
+            )
+            ana = analytic_parallel_m(shape, CLUSTER, plan, REGISTRY)
+            rows.append(
+                [str(shape), des.seconds * 1e6, ana.seconds * 1e6,
+                 ana.seconds / des.seconds]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(["shape", "DES (us)", "analytic (us)", "ratio"], rows))
+    for row in rows:
+        assert row[3] == pytest.approx(1.0, abs=0.20)
+
+
+def test_ablation_gsm_caching(benchmark):
+    """Alg. 4 caches the shared B operand in GSM; stream-from-DDR variant."""
+
+    shapes = [(65536, 96, 96), (20480, 96, 20480), (2**20, 32, 512)]
+
+    def run():
+        rows = []
+        for m, n, k in shapes:
+            shape = GemmShape(m, n, k)
+            plan = adjust_m_plan(MPlan(), shape, CLUSTER)
+            with_gsm = analytic_parallel_m(shape, CLUSTER, plan, REGISTRY)
+            without = analytic_parallel_m(
+                shape, CLUSTER, plan, REGISTRY, use_gsm=False
+            )
+            rows.append(
+                [str(shape), with_gsm.gflops, without.gflops,
+                 with_gsm.gflops / without.gflops]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(["shape", "B in GSM", "B from DDR", "gain"], rows))
+    assert all(row[3] >= 0.99 for row in rows), "GSM caching must not hurt"
+    assert any(row[3] > 1.02 for row in rows), "and must help somewhere"
+
+
+def test_ablation_pingpong_double_buffering(benchmark):
+    """The paper's ping-pong scheme vs single buffering.
+
+    With one slot per tile, each DMA serializes against the compute that
+    consumes its buffer; double buffering hides whichever of DMA/compute
+    is shorter.  The gain is largest when the two are comparable.
+    """
+    from repro.core.parallel_k import build_parallel_k
+
+    shapes_m = [(2000, 32, 512), (8192, 96, 512)]
+    shapes_k = [(32, 32, 32768)]
+
+    def run():
+        rows = []
+        for m, n, k in shapes_m:
+            shape = GemmShape(m, n, k)
+            on = run_timed(build_parallel_m(shape, CLUSTER, registry=REGISTRY))
+            off = run_timed(
+                build_parallel_m(shape, CLUSTER, registry=REGISTRY, pingpong=False)
+            )
+            rows.append([f"m:{shape}", on.seconds * 1e6, off.seconds * 1e6,
+                         off.seconds / on.seconds])
+        for m, n, k in shapes_k:
+            shape = GemmShape(m, n, k)
+            on = run_timed(build_parallel_k(shape, CLUSTER, registry=REGISTRY))
+            off = run_timed(
+                build_parallel_k(shape, CLUSTER, registry=REGISTRY, pingpong=False)
+            )
+            rows.append([f"k:{shape}", on.seconds * 1e6, off.seconds * 1e6,
+                         off.seconds / on.seconds])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["driver:shape", "ping-pong (us)", "single-buffer (us)", "overlap gain"],
+        rows,
+    ))
+    assert all(row[3] >= 1.0 for row in rows), "overlap can never hurt"
+    assert max(row[3] for row in rows) > 1.15, "and must clearly help somewhere"

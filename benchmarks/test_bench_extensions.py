@@ -1,0 +1,57 @@
+"""Benchmarks for the extension experiments (beyond the paper's scope):
+FP64 kernels, multi-cluster scaling, and model-driven auto-tuning."""
+
+from repro.experiments import (
+    ext_autotune,
+    ext_fp64,
+    ext_hetero,
+    ext_multicluster,
+    ext_sensitivity,
+    ext_workloads,
+)
+
+from conftest import assert_claims, report
+
+
+def test_ext_fp64_kernels(benchmark):
+    results = benchmark.pedantic(ext_fp64.run, rounds=1, iterations=1)
+    report(results, benchmark)
+    assert_claims(results)
+
+
+def test_ext_multicluster_scaling(benchmark):
+    results = benchmark.pedantic(ext_multicluster.run, rounds=1, iterations=1)
+    report(results, benchmark)
+    assert_claims(results)
+
+
+def test_ext_autotune_search(benchmark):
+    results = benchmark.pedantic(ext_autotune.run, rounds=1, iterations=1)
+    report(results, benchmark)
+    assert_claims(results)
+
+
+def test_ext_workloads(benchmark):
+    results = benchmark.pedantic(ext_workloads.run, rounds=1, iterations=1)
+    report(results, benchmark)
+    assert_claims(results)
+
+
+def test_ext_sensitivity(benchmark):
+    results = benchmark.pedantic(ext_sensitivity.run, rounds=1, iterations=1)
+    report(results, benchmark)
+    assert_claims(results)
+
+
+def test_ext_hetero(benchmark):
+    results = benchmark.pedantic(ext_hetero.run, rounds=1, iterations=1)
+    report(results, benchmark)
+    assert_claims(results)
+
+
+def test_ext_bandwidth(benchmark):
+    from repro.experiments import ext_bandwidth
+
+    results = benchmark.pedantic(ext_bandwidth.run, rounds=1, iterations=1)
+    report(results, benchmark)
+    assert_claims(results)

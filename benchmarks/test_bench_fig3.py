@@ -1,0 +1,11 @@
+"""Fig. 3: micro-kernel efficiency sweeps (six panels)."""
+
+from repro.experiments import fig3
+
+from conftest import assert_claims, report
+
+
+def test_fig3_micro_kernels(benchmark):
+    results = benchmark.pedantic(fig3.run, rounds=1, iterations=1)
+    report(results, benchmark)
+    assert_claims(results)

@@ -1,0 +1,11 @@
+"""Fig. 4: single-core ftIMM vs TGEMM across the three irregular types."""
+
+from repro.experiments import fig4
+
+from conftest import assert_claims, report
+
+
+def test_fig4_single_core(benchmark):
+    results = benchmark.pedantic(fig4.run, rounds=1, iterations=1)
+    report(results, benchmark)
+    assert_claims(results)

@@ -1,0 +1,11 @@
+"""Fig. 5: multi-core ftIMM vs TGEMM vs roofline (six panels)."""
+
+from repro.experiments import fig5
+
+from conftest import assert_claims, report
+
+
+def test_fig5_multi_core(benchmark):
+    results = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    report(results, benchmark)
+    assert_claims(results)

@@ -1,0 +1,11 @@
+"""Fig. 6: scalability of ftIMM over 1-8 DSP cores."""
+
+from repro.experiments import fig6
+
+from conftest import assert_claims, report
+
+
+def test_fig6_scalability(benchmark):
+    results = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+    report(results, benchmark)
+    assert_claims(results)

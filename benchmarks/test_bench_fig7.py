@@ -1,0 +1,11 @@
+"""Fig. 7: efficiency, ftIMM on a GPDSP cluster vs OpenBLAS on the CPU."""
+
+from repro.experiments import fig7
+
+from conftest import assert_claims, report
+
+
+def test_fig7_cpu_vs_dsp(benchmark):
+    results = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    report(results, benchmark)
+    assert_claims(results)

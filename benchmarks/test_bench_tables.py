@@ -1,0 +1,11 @@
+"""Tables I-III: generated assembly pipelines (steady-state VLIW grids)."""
+
+from repro.experiments import tables123
+
+from conftest import assert_claims, report
+
+
+def test_tables_1_2_3(benchmark):
+    results = benchmark.pedantic(tables123.run, rounds=1, iterations=1)
+    report(results, benchmark)
+    assert_claims(results)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""FEM operator application as batched irregular GEMMs.
+
+The paper's introduction cites FEM (via libxsmm) as a source of "many
+GEMMs working on small matrices".  This example applies element-local
+interpolation operators for a mixed-order mesh:
+
+1. verifies the grouped execution numerically (shared basis operator B,
+   one stacked tall-and-skinny GEMM per element order);
+2. compares the modeled cluster time of grouped execution against issuing
+   one GEMM per element batch — the amortization the batching API exists
+   for;
+3. shows the per-operator shape classification (every one is type 1).
+
+Run:  python examples/fem_batched.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.tables import format_table
+from repro.core.batched import grouped_gemm, naive_batch_seconds
+from repro.core.shapes import GemmShape
+from repro.workloads.fem import STANDARD_OPERATORS, lagrange_basis_1d
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # --- 1. numerics: grouped execution of P3 interpolation ---------------
+    order, n_quad = 3, 7
+    basis = lagrange_basis_1d(order, np.linspace(0, 1, n_quad))  # (4, 7)
+    batches = [rng.standard_normal((m, order + 1)).astype(np.float32)
+               for m in (500, 750, 250)]
+    outs = [np.zeros((a.shape[0], n_quad), np.float32) for a in batches]
+    result = repro.grouped_gemm(batches, basis, outs, timing="analytic")
+    err = max(
+        float(np.abs(out - a @ basis).max()) for a, out in zip(batches, outs)
+    )
+    print(f"grouped P{order} interpolation over {result.n_items} element "
+          f"batches ({result.shape}): max error {err:.2e}")
+    print(f"modeled time on the GPDSP cluster: {result.seconds * 1e6:.1f} us "
+          f"({result.gflops:.1f} GFLOPS)\n")
+
+    # --- 2. grouped vs one-call-per-batch across a mixed-order mesh -------
+    rows = []
+    for op in STANDARD_OPERATORS:
+        shape = op.gemm_shape()
+        # the mesh hands us the elements in 64 chunks (partitioned assembly)
+        chunk = max(1, shape.m // 64)
+        chunks = [chunk] * (shape.m // chunk)
+        grouped = grouped_gemm(
+            None, None, None,
+            m_blocks=chunks, n=shape.n, k=shape.k, timing="analytic",
+        )
+        naive = naive_batch_seconds([GemmShape(chunk, shape.n, shape.k)] * len(chunks))
+        rows.append([
+            op.name,
+            str(shape),
+            repro.classify(shape.m, shape.n, shape.k),
+            f"{grouped.seconds * 1e3:.2f}",
+            f"{naive * 1e3:.2f}",
+            f"{naive / grouped.seconds:.2f}x",
+        ])
+    print("mixed-order mesh, 64-chunk partitioned assembly:")
+    print(format_table(
+        ["operator", "stacked MxNxK", "class", "grouped (ms)",
+         "per-chunk calls (ms)", "win"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Scaling one irregular GEMM across the whole FT-m7032 chip.
+
+The paper's evaluation stays inside one GPDSP cluster.  This example walks
+the same type-1 problem through every level of the chip the model exposes:
+
+1. one DSP core, then 8 cores of one cluster (the paper's Fig. 6 regime,
+   capped by the cluster's single DDR port);
+2. co-executing with the 16-core host CPU (extension: single-digit gain —
+   the CPU's irregular-GEMM rate is small, per Fig. 7);
+3. all four GPDSP clusters with private DDR ports (extension: near-linear).
+
+Run:  python examples/whole_chip_tour.py
+"""
+
+import repro
+from repro.analysis.tables import format_table
+from repro.core.hetero import hetero_gemm
+from repro.core.multi_cluster import multi_cluster_gemm
+
+
+def main() -> None:
+    m, n, k = 2**20, 32, 32
+    print(f"problem: {m}x{n}x{k} ({repro.classify(m, n, k)})\n")
+
+    rows = []
+    base = repro.ftimm_gemm(m, n, k, cores=1, timing="analytic")
+    rows.append(["1 DSP core", f"{base.gflops:.0f}", "1.00x"])
+
+    one_cluster = repro.ftimm_gemm(m, n, k, timing="analytic")
+    rows.append([
+        "8 cores / 1 cluster",
+        f"{one_cluster.gflops:.0f}",
+        f"{one_cluster.gflops / base.gflops:.2f}x",
+    ])
+
+    hetero = hetero_gemm(m, n, k)
+    rows.append([
+        f"1 cluster + CPU ({hetero.cpu_share:.0%} of M)",
+        f"{hetero.gflops:.0f}",
+        f"{hetero.gflops / base.gflops:.2f}x",
+    ])
+
+    for clusters in (2, 4):
+        mc = multi_cluster_gemm(m, n, k, n_clusters=clusters, split="m")
+        rows.append([
+            f"{clusters} clusters",
+            f"{mc.gflops:.0f}",
+            f"{mc.gflops / base.gflops:.2f}x",
+        ])
+
+    print(format_table(["configuration", "GFLOPS", "vs 1 core"], rows))
+    print()
+    print("reading: within a cluster, scaling is capped by the shared DDR")
+    print("port (the paper's Fig. 6 observation); the CPU adds only a few")
+    print("percent (its irregular-GEMM rate is small, Fig. 7); private DDR")
+    print("ports across clusters restore near-linear scaling.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Metrics and result-table utilities."""
+
+from .ascii_plot import PlotConfig, render_chart
+from .metrics import efficiency, gflops, percent, speedup
+from .tables import Claim, ExperimentResult, Series, format_table
+
+__all__ = [
+    "Claim",
+    "PlotConfig",
+    "render_chart",
+    "ExperimentResult",
+    "Series",
+    "efficiency",
+    "format_table",
+    "gflops",
+    "percent",
+    "speedup",
+]

@@ -1,0 +1,107 @@
+"""Terminal line charts for experiment series.
+
+The paper's figures are line plots; the closest faithful rendering in a
+network-less terminal reproduction is an ASCII chart.  One chart shows all
+series of an :class:`~repro.analysis.tables.ExperimentResult` on a shared
+log-or-linear y axis with per-series glyphs, so crossovers and gaps (the
+things the claims are about) are visible at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .tables import Series
+
+#: glyphs assigned to series in order.
+GLYPHS = "*o+x#@%&"
+
+
+@dataclass(frozen=True)
+class PlotConfig:
+    width: int = 64
+    height: int = 16
+    log_y: bool = False
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def render_chart(
+    series: list[Series],
+    *,
+    config: PlotConfig | None = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render series as an ASCII chart (x positions are equally spaced)."""
+    cfg = config or PlotConfig()
+    drawable = [s for s in series if s.y]
+    if not drawable:
+        return "(no data)"
+    n_points = max(len(s.y) for s in drawable)
+    if n_points < 2:
+        return "(need at least two points to draw)"
+
+    ys = [y for s in drawable for y in s.y]
+    lo, hi = min(ys), max(ys)
+    if cfg.log_y:
+        if lo <= 0:
+            raise ValueError("log_y requires positive values")
+        lo, hi = math.log10(lo), math.log10(hi)
+    if hi == lo:
+        hi = lo + 1.0
+
+    def to_row(value: float) -> int:
+        v = math.log10(value) if cfg.log_y else value
+        frac = (v - lo) / (hi - lo)
+        return min(cfg.height - 1, max(0, round(frac * (cfg.height - 1))))
+
+    def to_col(index: int, count: int) -> int:
+        if count == 1:
+            return 0
+        return round(index * (cfg.width - 1) / (count - 1))
+
+    grid = [[" "] * cfg.width for _ in range(cfg.height)]
+    for s_idx, s in enumerate(drawable):
+        glyph = GLYPHS[s_idx % len(GLYPHS)]
+        cols_rows = [
+            (to_col(i, len(s.y)), to_row(y)) for i, y in enumerate(s.y)
+        ]
+        # connect consecutive points with interpolated cells
+        for (c1, r1), (c2, r2) in zip(cols_rows, cols_rows[1:]):
+            steps = max(abs(c2 - c1), abs(r2 - r1), 1)
+            for t in range(steps + 1):
+                c = round(c1 + (c2 - c1) * t / steps)
+                r = round(r1 + (r2 - r1) * t / steps)
+                cell = grid[cfg.height - 1 - r][c]
+                grid[cfg.height - 1 - r][c] = glyph if cell == " " else "="
+
+    top_tick = _format_tick(10 ** hi if cfg.log_y else hi)
+    bottom_tick = _format_tick(10 ** lo if cfg.log_y else lo)
+    tick_w = max(len(top_tick), len(bottom_tick))
+    lines = []
+    if y_label:
+        lines.append(f"{'':>{tick_w}}  {y_label}")
+    for r, row in enumerate(grid):
+        tick = top_tick if r == 0 else bottom_tick if r == cfg.height - 1 else ""
+        lines.append(f"{tick:>{tick_w}} |{''.join(row)}|")
+    x0 = drawable[0].x[0] if drawable[0].x else ""
+    x1 = drawable[0].x[-1] if drawable[0].x else ""
+    footer = f"{x0} .. {x1}"
+    if x_label:
+        footer += f"  ({x_label})"
+    lines.append(f"{'':>{tick_w}}  {footer:^{cfg.width}}")
+    legend = "  ".join(
+        f"{GLYPHS[i % len(GLYPHS)]} {s.label}" for i, s in enumerate(drawable)
+    )
+    lines.append(f"{'':>{tick_w}}  {legend}  (= overlap)")
+    return "\n".join(lines)

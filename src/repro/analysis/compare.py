@@ -1,0 +1,144 @@
+"""Compare two experiment-data exports (regression diffing).
+
+`python -m repro.experiments.run_all --json data.json` dumps every series
+and claim.  This tool diffs two such dumps — e.g. before/after a model
+change — and reports:
+
+* claims that flipped (held → failed or vice versa),
+* series points whose values moved more than a tolerance,
+* experiments added or removed.
+
+CLI: ``python -m repro.analysis.compare old.json new.json [--tol 0.05]``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class SeriesDelta:
+    exp_id: str
+    label: str
+    x: object
+    old: float
+    new: float
+
+    @property
+    def rel_change(self) -> float:
+        if self.old == 0:
+            return float("inf") if self.new else 0.0
+        return (self.new - self.old) / abs(self.old)
+
+
+@dataclass
+class ClaimFlip:
+    exp_id: str
+    name: str
+    was_holding: bool
+    old_measured: str
+    new_measured: str
+
+
+@dataclass
+class ComparisonReport:
+    added: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    flips: list[ClaimFlip] = field(default_factory=list)
+    deltas: list[SeriesDelta] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.added or self.removed or self.flips or self.deltas)
+
+    def render(self, tol: float) -> str:
+        if self.clean:
+            return f"no changes beyond {tol:.0%} tolerance"
+        lines = []
+        for exp in self.removed:
+            lines.append(f"REMOVED experiment: {exp}")
+        for exp in self.added:
+            lines.append(f"added experiment: {exp}")
+        for flip in self.flips:
+            direction = "now FAILS" if flip.was_holding else "now holds"
+            lines.append(
+                f"CLAIM FLIP {flip.exp_id}:{flip.name} {direction} "
+                f"({flip.old_measured!r} -> {flip.new_measured!r})"
+            )
+        for delta in sorted(
+            self.deltas, key=lambda d: -abs(d.rel_change)
+        ):
+            lines.append(
+                f"moved {delta.exp_id}/{delta.label} @ x={delta.x}: "
+                f"{delta.old:.4g} -> {delta.new:.4g} "
+                f"({delta.rel_change:+.1%})"
+            )
+        return "\n".join(lines)
+
+
+def compare_experiments(
+    old: list[dict], new: list[dict], *, tol: float = 0.05
+) -> ComparisonReport:
+    """Diff two ``run_all --json`` payloads."""
+    report = ComparisonReport()
+    old_by_id = {e["exp_id"]: e for e in old}
+    new_by_id = {e["exp_id"]: e for e in new}
+    report.removed = sorted(set(old_by_id) - set(new_by_id))
+    report.added = sorted(set(new_by_id) - set(old_by_id))
+
+    for exp_id in sorted(set(old_by_id) & set(new_by_id)):
+        o, n = old_by_id[exp_id], new_by_id[exp_id]
+        old_claims = {c["name"]: c for c in o.get("claims", [])}
+        for claim in n.get("claims", []):
+            prev = old_claims.get(claim["name"])
+            if prev is not None and prev["holds"] != claim["holds"]:
+                report.flips.append(
+                    ClaimFlip(
+                        exp_id=exp_id,
+                        name=claim["name"],
+                        was_holding=prev["holds"],
+                        old_measured=prev["measured"],
+                        new_measured=claim["measured"],
+                    )
+                )
+        old_series = {s["label"]: s for s in o.get("series", [])}
+        for series in n.get("series", []):
+            prev = old_series.get(series["label"])
+            if prev is None:
+                continue
+            for x, old_y, new_y in zip(prev["x"], prev["y"], series["y"]):
+                moved = (
+                    abs(new_y - old_y) > tol * abs(old_y)
+                    if old_y
+                    else new_y != old_y
+                )
+                if moved:
+                    report.deltas.append(
+                        SeriesDelta(exp_id, series["label"], x, old_y, new_y)
+                    )
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(argv if argv is not None else sys.argv[1:])
+    tol = 0.05
+    if "--tol" in args:
+        i = args.index("--tol")
+        tol = float(args[i + 1])
+        del args[i : i + 2]
+    if len(args) != 2:
+        print("usage: python -m repro.analysis.compare old.json new.json "
+              "[--tol 0.05]", file=sys.stderr)
+        return 2
+    old = json.loads(Path(args[0]).read_text())
+    new = json.loads(Path(args[1]).read_text())
+    report = compare_experiments(old, new, tol=tol)
+    print(report.render(tol))
+    return 0 if not (report.flips or report.removed) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

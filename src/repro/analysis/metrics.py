@@ -1,0 +1,29 @@
+"""Performance metrics shared by experiments and reports."""
+
+from __future__ import annotations
+
+from ..core.shapes import GemmShape
+
+
+def gflops(shape: GemmShape, seconds: float) -> float:
+    """Useful GFLOP/s of a GEMM completed in ``seconds``."""
+    if seconds <= 0:
+        raise ValueError(f"non-positive duration {seconds}")
+    return shape.flops / seconds / 1e9
+
+
+def efficiency(achieved_gflops: float, peak_flops: float) -> float:
+    """Achieved / peak, the metric of the paper's Fig. 7."""
+    if peak_flops <= 0:
+        raise ValueError("peak must be positive")
+    return achieved_gflops * 1e9 / peak_flops
+
+
+def speedup(base_seconds: float, new_seconds: float) -> float:
+    if new_seconds <= 0:
+        raise ValueError("non-positive duration")
+    return base_seconds / new_seconds
+
+
+def percent(fraction: float) -> str:
+    return f"{100.0 * fraction:.1f}%"

@@ -1,0 +1,66 @@
+"""Convenience facade over the library's main entry points.
+
+    >>> import repro
+    >>> result = repro.gemm(20480, 32, 20480)         # timing-only ftIMM
+    >>> result.gflops, result.strategy
+    >>> kernel = repro.generate_kernel(8, 96, 512)     # one micro-kernel
+    >>> print(kernel.pipeline_table())
+"""
+
+from __future__ import annotations
+
+from .core.autotune import AutotuneResult, autotune
+from .core.batched import (
+    BatchedGemmResult,
+    GroupedGemmResult,
+    batched_gemm,
+    grouped_gemm,
+)
+from .core.ftimm import GemmResult, ftimm_gemm, gemm, tgemm_gemm
+from .core.hetero import HeteroResult, hetero_gemm
+from .core.multi_cluster import MultiClusterResult, multi_cluster_gemm
+from .core.shapes import GemmShape
+from .core.tuning_cache import TuningCache
+from .hw.config import MachineConfig, default_machine
+from .kernels.generator import MicroKernel
+from .kernels.registry import registry_for
+from .kernels.spec import KernelSpec
+
+
+def generate_kernel(
+    m_s: int, n_a: int, k_a: int, machine: MachineConfig | None = None
+) -> MicroKernel:
+    """Generate (or fetch from cache) one ftIMM micro-kernel."""
+    core = (machine or default_machine()).cluster.core
+    return registry_for(core).ftimm(m_s, n_a, k_a)
+
+
+def classify(m: int, n: int, k: int) -> str:
+    """The paper's irregular-shape taxonomy for an M x N x K GEMM."""
+    return GemmShape(m, n, k).classify().value
+
+
+__all__ = [
+    "AutotuneResult",
+    "BatchedGemmResult",
+    "GroupedGemmResult",
+    "batched_gemm",
+    "grouped_gemm",
+    "HeteroResult",
+    "hetero_gemm",
+    "GemmResult",
+    "GemmShape",
+    "MultiClusterResult",
+    "TuningCache",
+    "autotune",
+    "multi_cluster_gemm",
+    "KernelSpec",
+    "MachineConfig",
+    "MicroKernel",
+    "classify",
+    "default_machine",
+    "ftimm_gemm",
+    "gemm",
+    "generate_kernel",
+    "tgemm_gemm",
+]

@@ -1,0 +1,117 @@
+"""Analytic model of OpenBLAS SGEMM on the 16-core ARMv8 CPU of FT-m7032.
+
+Fig. 7 of the paper compares ftIMM's *efficiency* (achieved / platform
+peak) on a GPDSP cluster against OpenBLAS 0.3.20 on the chip's CPU,
+"based on the same bandwidth" (the CPU shares the 42.6 GB/s port figure).
+
+The model is a Goto-algorithm cost decomposition with four loss terms that
+hit irregular shapes hardest — the same losses the irregular-GEMM
+literature attributes OpenBLAS's weakness to:
+
+1. **Inner-kernel efficiency**: an ``mr x nr`` kernel sustains
+   ``kernel_peak_fraction`` only for deep K; short K pays loop setup and
+   packing amortization (``K / (K + k_half)``), and M/N that don't fill
+   the register tile waste lanes (quantization to mr/nr multiples).
+2. **Thread granularity**: OpenBLAS parallelizes the M (and coarse N)
+   loops only — never K.  Small M x N yields fewer chunks than cores
+   (e.g. 32x32 feeds ~4 of 16 threads), plus per-region fork/join.
+3. **Packing traffic**: A and B panels are packed (strided read + write +
+   re-read), multiplying compulsory traffic by ``1 + pack_round_trips``.
+4. **Achieved bandwidth**: the management-class CPU sustains only
+   ``stream_bw_per_core`` per core (ceiling ``stream_bw_cap``) under
+   OpenBLAS's strided packing access — a small fraction of the DDR port,
+   consistent with published OpenBLAS-on-Phytium measurements
+   (LibShalom, SC'21) and with the paper's observed deficit.
+
+``time = max(compute, memory) + fork/join``, reported as GFLOPS and
+platform efficiency.  Large regular GEMMs remain compute-bound and reach
+~70-85% of CPU peak, which is exactly the regime where the paper concedes
+traditional libraries do well.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.shapes import GemmShape
+from ..hw.config import CpuConfig
+
+
+@dataclass(frozen=True)
+class CpuGemmEstimate:
+    """Modeled OpenBLAS execution of one SGEMM on the FT-m7032 CPU."""
+
+    shape: GemmShape
+    seconds: float
+    compute_seconds: float
+    memory_seconds: float
+    overhead_seconds: float
+    threads_used: int
+    kernel_efficiency: float
+    peak_flops: float
+
+    @property
+    def gflops(self) -> float:
+        return self.shape.flops / self.seconds / 1e9
+
+    @property
+    def efficiency(self) -> float:
+        return self.shape.flops / (self.seconds * self.peak_flops)
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.memory_seconds >= self.compute_seconds
+
+
+def _quantization(extent: int, tile: int) -> float:
+    """Useful fraction of register-tile lanes along one dimension."""
+    return extent / (math.ceil(extent / tile) * tile)
+
+
+def threads_used(shape: GemmShape, cpu: CpuConfig) -> int:
+    """How many threads OpenBLAS's M/N split can actually feed."""
+    m_chunks = max(1, shape.m // cpu.thread_rows_min)
+    n_chunks = max(1, shape.n // cpu.nr)
+    return max(1, min(cpu.n_cores, m_chunks * n_chunks))
+
+
+def kernel_efficiency(shape: GemmShape, cpu: CpuConfig) -> float:
+    """Sustained fraction of per-core peak inside the inner kernel."""
+    kc_eff = min(shape.k, cpu.kc)
+    k_term = kc_eff / (kc_eff + cpu.k_half)
+    return (
+        cpu.kernel_peak_fraction
+        * k_term
+        * _quantization(shape.m, cpu.mr)
+        * _quantization(shape.n, cpu.nr)
+    )
+
+
+def openblas_sgemm(shape: GemmShape, cpu: CpuConfig) -> CpuGemmEstimate:
+    """Model one OpenBLAS ``C += A @ B`` call."""
+    threads = threads_used(shape, cpu)
+    k_eff = kernel_efficiency(shape, cpu)
+
+    per_core_peak = cpu.clock_hz * cpu.flops_per_cycle
+    compute_s = shape.flops / (per_core_peak * threads * k_eff)
+
+    pack = 1.0 + cpu.pack_round_trips
+    traffic = pack * (shape.a_bytes + shape.b_bytes) + 2.0 * shape.c_bytes
+    bw = min(cpu.stream_bw_cap, threads * cpu.stream_bw_per_core)
+    memory_s = traffic / bw
+
+    regions = math.ceil(shape.k / cpu.kc) * math.ceil(shape.n / cpu.nc)
+    overhead_s = regions * cpu.fork_join_seconds
+
+    seconds = max(compute_s, memory_s) + overhead_s
+    return CpuGemmEstimate(
+        shape=shape,
+        seconds=seconds,
+        compute_seconds=compute_s,
+        memory_seconds=memory_s,
+        overhead_seconds=overhead_s,
+        threads_used=threads,
+        kernel_efficiency=k_eff,
+        peak_flops=cpu.peak_flops,
+    )

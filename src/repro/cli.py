@@ -1,0 +1,278 @@
+"""Command-line interface.
+
+::
+
+    python -m repro gemm 20480x32x20480 [--impl ftimm|tgemm|both]
+                                        [--cores N] [--timing MODE]
+                                        [--verify] [--trace out.json]
+    python -m repro kernel M N K [--table] [--asm] [--tgemm]
+    python -m repro classify MxNxK
+    python -m repro experiment fig3|fig4|fig5|fig6|fig7|tables|all
+    python -m repro machine
+
+Everything the CLI prints comes from the same public API the examples
+use; the CLI exists so the reproduction can be poked at without writing
+Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.tables import format_table
+from .baselines.cpu_openblas import openblas_sgemm
+from .baselines.roofline import roofline
+from .core.ftimm import ftimm_gemm, tgemm_gemm
+from .core.shapes import GemmShape
+from .errors import ReproError
+from .hw.config import default_machine
+from .kernels.registry import registry_for
+from .workloads.generators import random_operands, reference_result
+
+
+def _parse_shape(text: str) -> tuple[int, int, int]:
+    parts = text.lower().replace("*", "x").split("x")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"shape must look like MxNxK, got {text!r}"
+        )
+    try:
+        m, n, k = (int(p) for p in parts)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return m, n, k
+
+
+def _cmd_gemm(args: argparse.Namespace) -> int:
+    m, n, k = args.shape
+    shape = GemmShape(m, n, k)
+    machine = default_machine()
+    base = reference = None
+    if args.verify:
+        base = random_operands(shape, seed=0)
+        if args.dtype == "f64":
+            base = tuple(arr.astype("float64") for arr in base)
+        reference = reference_result(*base)
+
+    rows = []
+    impls = ["ftimm", "tgemm"] if args.impl == "both" else [args.impl]
+    if args.dtype == "f64":
+        impls = [i for i in impls if i == "ftimm"]  # no FP64 baseline
+    for impl in impls:
+        fn = ftimm_gemm if impl == "ftimm" else tgemm_gemm
+        kwargs = dict(cores=args.cores, timing=args.timing)
+        if impl == "ftimm" and args.dtype != "f32":
+            kwargs["dtype"] = args.dtype
+        if args.verify:
+            a, b, c0 = base
+            c = c0.copy()  # each impl accumulates into its own C
+            kwargs.update(a=a, b=b, c=c)
+        if impl == "ftimm" and args.force_strategy:
+            kwargs["force_strategy"] = args.force_strategy
+        result = fn(m, n, k, **kwargs)
+        rows.append(
+            [
+                impl,
+                result.strategy,
+                result.timing_mode,
+                f"{result.seconds * 1e6:.1f}" if result.timing else "-",
+                f"{result.gflops:.1f}",
+                f"{100 * result.efficiency:.1f}%",
+            ]
+        )
+        if args.verify:
+            import numpy as np
+
+            err = float(np.abs(kwargs["c"] - reference).max())
+            print(f"verify [{impl}]: max |C - reference| = {err:.3e}")
+        if (args.trace or args.plan) and impl == "ftimm":
+            from .core.ftimm import _lower  # noqa: SLF001 - CLI convenience
+            from .core.tuner import tune
+
+            cluster = machine.cluster
+            if args.cores:
+                cluster = cluster.with_cores(args.cores)
+            decision = tune(shape, cluster, dtype=args.dtype)
+            lowered = _lower(
+                shape, cluster, decision, None, registry_for(cluster.core)
+            )
+            if args.plan:
+                print(lowered.describe())
+            if args.trace:
+                from .executor.timed import run_timed
+                from .executor.trace import TraceRecorder
+
+                recorder = TraceRecorder()
+                run_timed(lowered, trace=recorder)
+                path = recorder.save(args.trace)
+                print(f"trace: {recorder.n_spans} spans -> {path}")
+                print(recorder.ascii_timeline())
+
+    print(f"shape {shape} ({shape.classify().value}), "
+          f"AI {shape.arithmetic_intensity:.1f} flops/byte")
+    ceiling = roofline(shape, machine.cluster, n_cores=args.cores)
+    print(f"roofline max ({args.cores or 8} cores): {ceiling.max_gflops:.0f} GFLOPS")
+    cpu = openblas_sgemm(shape, machine.cpu)
+    print(f"OpenBLAS on the 16-core CPU (modeled): {cpu.gflops:.1f} GFLOPS "
+          f"({100 * cpu.efficiency:.1f}%)")
+    print()
+    print(format_table(
+        ["impl", "strategy", "timing", "time (us)", "GFLOPS", "efficiency"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    registry = registry_for(default_machine().cluster.core)
+    if args.tgemm:
+        kern = registry.tgemm(min(args.m, 6), args.n, args.k)
+    else:
+        kern = registry.ftimm(args.m, args.n, args.k, args.dtype)
+    info = kern.blocks[0]
+    print(f"kernel {kern.spec} ({kern.name}): m_u={info.m_u} k_u={info.k_u} "
+          f"II={kern.ii} cycles={kern.cycles} "
+          f"efficiency={100 * kern.efficiency:.1f}% "
+          f"({kern.gflops:.1f} GFLOPS/core)")
+    sregs, vregs = kern.registers_used()
+    print(f"registers: {vregs} vector, {sregs} scalar; "
+          f"blocks: {[(b.m_u, b.k_u, b.ii) for b in kern.blocks]}")
+    if args.table:
+        print()
+        print(kern.pipeline_table())
+    if args.asm:
+        from .isa.emitter import render_assembly
+
+        block = kern.program.blocks[0]
+        print("\nsetup:")
+        print(render_assembly(block.setup))
+        print(f"\nbody (x{block.trip}):")
+        print(render_assembly(block.body))
+        print("\nteardown:")
+        print(render_assembly(block.teardown))
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    m, n, k = args.shape
+    shape = GemmShape(m, n, k)
+    print(f"{shape}: {shape.classify().value}")
+    print(f"flops: {shape.flops:,}  compulsory bytes: {shape.total_bytes:,}  "
+          f"AI: {shape.arithmetic_intensity:.2f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import run_all
+
+    from . import experiments as _exp
+
+    modules = {
+        "fig3": _exp.fig3, "fig4": _exp.fig4, "fig5": _exp.fig5,
+        "fig6": _exp.fig6, "fig7": _exp.fig7, "tables": _exp.tables123,
+        "fp64": _exp.ext_fp64, "multicluster": _exp.ext_multicluster,
+        "autotune": _exp.ext_autotune, "workloads": _exp.ext_workloads,
+        "sensitivity": _exp.ext_sensitivity, "hetero": _exp.ext_hetero,
+        "bandwidth": _exp.ext_bandwidth,
+    }
+    if args.name == "all":
+        run_all.main([])
+        return 0
+    for result in modules[args.name].run():
+        print(result.render(chart=True))
+        print()
+    return 0
+
+
+def _cmd_machine(_args: argparse.Namespace) -> int:
+    machine = default_machine()
+    cluster, core = machine.cluster, machine.cluster.core
+    rows = [
+        ["DSP cores per cluster", cluster.n_cores],
+        ["core clock", f"{core.clock_hz / 1e9:.1f} GHz"],
+        ["FP32 SIMD width", core.simd_lanes],
+        ["FMAC pipes / core", core.n_vector_fmac],
+        ["core peak", f"{core.peak_flops / 1e9:.1f} GFLOPS"],
+        ["cluster peak", f"{cluster.peak_flops / 1e9:.1f} GFLOPS"],
+        ["AM / SM per core", f"{core.am_bytes // 1024} / {core.sm_bytes // 1024} KiB"],
+        ["GSM", f"{cluster.gsm_bytes // (1024 * 1024)} MiB"],
+        ["DDR port", f"{cluster.ddr_bandwidth / 1e9:.1f} GB/s"],
+        ["CPU", f"{machine.cpu.n_cores} cores, "
+                f"{machine.cpu.peak_flops / 1e9:.1f} GFLOPS"],
+    ]
+    print("FT-m7032 model (one GPDSP cluster + host CPU):")
+    print(format_table(["parameter", "value"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ftIMM on a simulated FT-m7032 (CLUSTER 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gemm = sub.add_parser("gemm", help="run / model one GEMM")
+    p_gemm.add_argument("shape", type=_parse_shape, help="MxNxK")
+    p_gemm.add_argument("--impl", choices=["ftimm", "tgemm", "both"],
+                        default="both")
+    p_gemm.add_argument("--cores", type=int, default=None)
+    p_gemm.add_argument("--timing", default="auto",
+                        choices=["auto", "des", "analytic", "none"])
+    p_gemm.add_argument("--force-strategy", choices=["m", "k", "tgemm"],
+                        default=None)
+    p_gemm.add_argument("--dtype", choices=["f32", "f64"], default="f32")
+    p_gemm.add_argument("--verify", action="store_true",
+                        help="run functionally on random operands and check")
+    p_gemm.add_argument("--trace", metavar="OUT.json", default=None,
+                        help="write a Chrome-trace of the DES run")
+    p_gemm.add_argument("--plan", action="store_true",
+                        help="print the lowered op-stream summary")
+    p_gemm.set_defaults(fn=_cmd_gemm)
+
+    p_kernel = sub.add_parser("kernel", help="generate one micro-kernel")
+    p_kernel.add_argument("m", type=int)
+    p_kernel.add_argument("n", type=int)
+    p_kernel.add_argument("k", type=int)
+    p_kernel.add_argument("--table", action="store_true",
+                          help="print the pipeline reservation table")
+    p_kernel.add_argument("--asm", action="store_true",
+                          help="print the instruction stream")
+    p_kernel.add_argument("--tgemm", action="store_true",
+                          help="the fixed TGEMM kernel instead")
+    p_kernel.add_argument("--dtype", choices=["f32", "f64"], default="f32")
+    p_kernel.set_defaults(fn=_cmd_kernel)
+
+    p_classify = sub.add_parser("classify", help="shape taxonomy")
+    p_classify.add_argument("shape", type=_parse_shape)
+    p_classify.set_defaults(fn=_cmd_classify)
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument(
+        "name",
+        choices=[
+            "fig3", "fig4", "fig5", "fig6", "fig7", "tables",
+            "fp64", "multicluster", "autotune", "workloads", "sensitivity",
+            "hetero", "bandwidth", "all",
+        ],
+    )
+    p_exp.set_defaults(fn=_cmd_experiment)
+
+    p_machine = sub.add_parser("machine", help="show the machine model")
+    p_machine.set_defaults(fn=_cmd_machine)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,256 @@
+"""ftIMM's top-level entry points.
+
+:func:`ftimm_gemm` reproduces the library call the paper describes: given
+an irregular-shaped single-precision GEMM, dynamically choose the
+parallelization strategy and block sizes, generate/select micro-kernels,
+and execute — here on the simulated FT-m7032 cluster, returning both the
+numerical result (when operands are supplied) and the modeled performance.
+
+:func:`tgemm_gemm` is the traditional baseline under the identical
+interface, and :func:`gemm` dispatches between them.
+
+Timing modes:
+
+* ``"des"``      — discrete-event simulation (exact overlap/contention);
+* ``"analytic"`` — closed-form composition (for huge shapes);
+* ``"auto"``     — DES when the lowered plan is small enough, else
+  analytic (the two agree within tolerance on their overlap domain).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..errors import PlanError
+from ..executor.analytic import (
+    analytic_parallel_k,
+    analytic_parallel_m,
+    analytic_tgemm,
+)
+from ..executor.functional import FunctionalReport, run_functional
+from ..executor.timed import TimedResult, run_timed
+from ..hw.config import ClusterConfig, MachineConfig, default_machine
+from ..kernels.registry import KernelRegistry, registry_for
+from .blocking import KPlan, MPlan, TgemmPlan
+from .lowering import GemmOperands
+from .parallel_k import build_parallel_k
+from .parallel_m import build_parallel_m
+from .plans import GemmExecution
+from .shapes import GemmShape
+from .tgemm import build_tgemm
+from .tuner import Strategy, TuningDecision, tune
+
+TimingMode = Literal["auto", "des", "analytic", "none"]
+
+#: above roughly this many ops, "auto" switches from DES to analytic.
+_DES_OP_LIMIT = 60_000
+
+
+@dataclass
+class GemmResult:
+    """Outcome of one (simulated) GEMM call."""
+
+    shape: GemmShape
+    strategy: str
+    decision: TuningDecision | None
+    timing: TimedResult | None
+    functional: FunctionalReport | None
+    timing_mode: str
+    n_cores: int
+
+    @property
+    def seconds(self) -> float:
+        if self.timing is None:
+            raise PlanError("no timing was requested (timing_mode='none')")
+        return self.timing.seconds
+
+    @property
+    def gflops(self) -> float:
+        return self.timing.gflops if self.timing else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        return self.timing.efficiency if self.timing else 0.0
+
+
+def _estimate_ops(shape: GemmShape, decision: TuningDecision) -> int:
+    """Rough lowered-op count, to pick DES vs analytic in auto mode."""
+    if decision.strategy == "m":
+        p = decision.m_plan
+        kernels = (
+            math.ceil(shape.m / p.m_s)
+            * math.ceil(shape.k / p.k_a)
+            * math.ceil(shape.n / p.n_a)
+        )
+    elif decision.strategy == "k":
+        p = decision.k_plan
+        kernels = math.ceil(shape.m / p.m_s) * math.ceil(shape.k / p.k_a)
+    else:
+        p = decision.tgemm_plan
+        kernels = (
+            math.ceil(shape.m / p.m_s)
+            * math.ceil(shape.k / p.k_g)
+            * math.ceil(shape.n / p.n_a)
+        )
+    return 2 * kernels + 16
+
+
+def _lower(
+    shape: GemmShape,
+    cluster: ClusterConfig,
+    decision: TuningDecision,
+    data: GemmOperands | None,
+    registry: KernelRegistry,
+) -> GemmExecution:
+    if decision.strategy == "m":
+        return build_parallel_m(
+            shape, cluster, plan=decision.m_plan, data=data,
+            registry=registry, adjust=False,
+        )
+    if decision.strategy == "k":
+        return build_parallel_k(
+            shape, cluster, plan=decision.k_plan, data=data,
+            registry=registry, adjust=False,
+        )
+    return build_tgemm(
+        shape, cluster, plan=decision.tgemm_plan, data=data, registry=registry
+    )
+
+
+def _analytic(
+    shape: GemmShape,
+    cluster: ClusterConfig,
+    decision: TuningDecision,
+    registry: KernelRegistry,
+) -> TimedResult:
+    if decision.strategy == "m":
+        return analytic_parallel_m(shape, cluster, decision.m_plan, registry)
+    if decision.strategy == "k":
+        return analytic_parallel_k(shape, cluster, decision.k_plan, registry)
+    return analytic_tgemm(shape, cluster, decision.tgemm_plan, registry)
+
+
+def _run(
+    shape: GemmShape,
+    cluster: ClusterConfig,
+    decision: TuningDecision,
+    *,
+    a: np.ndarray | None,
+    b: np.ndarray | None,
+    c: np.ndarray | None,
+    timing: TimingMode,
+    dtype: str = "f32",
+) -> GemmResult:
+    registry = registry_for(cluster.core)
+    data = None
+    if a is not None or b is not None or c is not None:
+        if a is None or b is None or c is None:
+            raise PlanError("provide all of a, b, c or none of them")
+        data = GemmOperands.check(shape, a, b, c, dtype=dtype)
+
+    func_report = None
+    if data is not None:
+        func_report = run_functional(_lower(shape, cluster, decision, data, registry))
+
+    mode = timing
+    if mode == "auto":
+        mode = "des" if _estimate_ops(shape, decision) <= _DES_OP_LIMIT else "analytic"
+    timed: TimedResult | None = None
+    if mode == "des":
+        timed = run_timed(_lower(shape, cluster, decision, None, registry))
+    elif mode == "analytic":
+        timed = _analytic(shape, cluster, decision, registry)
+    elif mode != "none":
+        raise PlanError(f"unknown timing mode {timing!r}")
+
+    return GemmResult(
+        shape=shape,
+        strategy=decision.strategy,
+        decision=decision,
+        timing=timed,
+        functional=func_report,
+        timing_mode=mode,
+        n_cores=cluster.n_cores,
+    )
+
+
+def ftimm_gemm(
+    m: int,
+    n: int,
+    k: int,
+    *,
+    a: np.ndarray | None = None,
+    b: np.ndarray | None = None,
+    c: np.ndarray | None = None,
+    machine: MachineConfig | None = None,
+    cores: int | None = None,
+    timing: TimingMode = "auto",
+    force_strategy: Strategy | None = None,
+    adjust: bool = True,
+    dtype: str = "f32",
+) -> GemmResult:
+    """Run ``C += A @ B`` with ftIMM on the simulated GPDSP cluster.
+
+    With operands the numerical result is computed in ``c`` (in place);
+    timing is always modeled unless ``timing='none'``.  ``cores`` restricts
+    the cluster (scalability experiments); ``adjust=False`` disables the
+    dynamic block adjusting (ablation); ``force_strategy`` pins the
+    parallelization strategy; ``dtype="f64"`` runs the double-precision
+    extension (N <= 48, float64 operands).
+    """
+    shape = GemmShape(m, n, k)
+    cluster = (machine or default_machine()).cluster
+    if cores is not None:
+        cluster = cluster.with_cores(cores)
+    decision = tune(
+        shape, cluster, force_strategy=force_strategy, adjust=adjust,
+        dtype=dtype,
+    )
+    return _run(
+        shape, cluster, decision, a=a, b=b, c=c, timing=timing, dtype=dtype
+    )
+
+
+def tgemm_gemm(
+    m: int,
+    n: int,
+    k: int,
+    *,
+    a: np.ndarray | None = None,
+    b: np.ndarray | None = None,
+    c: np.ndarray | None = None,
+    machine: MachineConfig | None = None,
+    cores: int | None = None,
+    timing: TimingMode = "auto",
+) -> GemmResult:
+    """Run ``C += A @ B`` with the traditional TGEMM implementation."""
+    shape = GemmShape(m, n, k)
+    cluster = (machine or default_machine()).cluster
+    if cores is not None:
+        cluster = cluster.with_cores(cores)
+    decision = TuningDecision(
+        strategy="tgemm",
+        tgemm_plan=TgemmPlan().validate(cluster),
+        reason="baseline",
+    )
+    return _run(shape, cluster, decision, a=a, b=b, c=c, timing=timing)
+
+
+def gemm(
+    m: int,
+    n: int,
+    k: int,
+    *,
+    impl: Literal["ftimm", "tgemm"] = "ftimm",
+    **kwargs,
+) -> GemmResult:
+    """Dispatch to :func:`ftimm_gemm` or :func:`tgemm_gemm`."""
+    if impl == "ftimm":
+        return ftimm_gemm(m, n, k, **kwargs)
+    if impl == "tgemm":
+        return tgemm_gemm(m, n, k, **kwargs)
+    raise PlanError(f"unknown impl {impl!r}")

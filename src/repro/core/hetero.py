@@ -1,0 +1,138 @@
+"""Heterogeneous CPU + DSP co-execution (extension).
+
+FT-m7032 is a *heterogeneous* processor — the paper uses its 16-core CPU
+only as a baseline (Fig. 7), leaving it idle during DSP GEMMs.  This
+extension statically partitions the M dimension between the CPU (running
+the modeled OpenBLAS) and one GPDSP cluster (running ftIMM), the classic
+CPU+accelerator split:
+
+* the split ratio minimizes ``max(t_cpu(r*M), t_dsp((1-r)*M))``, found by
+  evaluating both cost models over a ratio grid (both models are cheap);
+* B is shared read-only; each side owns its M-slice of A and C, so no
+  reduction is needed;
+* functional mode computes the CPU slice with NumPy (the real OpenBLAS
+  stand-in) and the DSP slice through the simulated ftIMM, so correctness
+  is testable end to end.
+
+For irregular shapes the CPU contributes little (its modeled OpenBLAS is
+memory-starved — the whole point of Fig. 7), so the expected gain is a
+few percent; the experiment quantifies exactly that, which is itself a
+result: offload-everything is the right design for this chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.cpu_openblas import openblas_sgemm
+from ..errors import ShapeError
+from ..hw.config import MachineConfig, default_machine
+from .ftimm import GemmResult, ftimm_gemm
+from .shapes import GemmShape
+
+#: granularity of the CPU-share grid search.
+RATIO_STEPS = 32
+
+
+@dataclass
+class HeteroResult:
+    """Outcome of a co-executed GEMM."""
+
+    shape: GemmShape
+    cpu_rows: int
+    dsp_rows: int
+    seconds: float
+    cpu_seconds: float
+    dsp_seconds: float
+    dsp_result: GemmResult | None
+
+    @property
+    def cpu_share(self) -> float:
+        return self.cpu_rows / self.shape.m
+
+    @property
+    def gflops(self) -> float:
+        return self.shape.flops / self.seconds / 1e9
+
+    @property
+    def gain_vs_dsp_only(self) -> float:
+        """Speedup over running everything on the DSP cluster."""
+        return self.dsp_only_seconds / self.seconds
+
+    dsp_only_seconds: float = 0.0
+
+
+def _cpu_seconds(rows: int, shape: GemmShape, machine: MachineConfig) -> float:
+    if rows == 0:
+        return 0.0
+    return openblas_sgemm(GemmShape(rows, shape.n, shape.k), machine.cpu).seconds
+
+
+def _dsp_seconds(rows: int, shape: GemmShape, machine: MachineConfig) -> float:
+    if rows == 0:
+        return 0.0
+    return ftimm_gemm(
+        rows, shape.n, shape.k, machine=machine, timing="analytic"
+    ).seconds
+
+
+def best_split(shape: GemmShape, machine: MachineConfig) -> int:
+    """CPU row count minimizing the makespan of the static M split."""
+    best_rows, best_time = 0, _dsp_seconds(shape.m, shape, machine)
+    for step in range(1, RATIO_STEPS):
+        rows = shape.m * step // (4 * RATIO_STEPS)  # CPU share caps at 25%
+        if rows in (0, shape.m):
+            continue
+        t = max(
+            _cpu_seconds(rows, shape, machine),
+            _dsp_seconds(shape.m - rows, shape, machine),
+        )
+        if t < best_time:
+            best_rows, best_time = rows, t
+    return best_rows
+
+
+def hetero_gemm(
+    m: int,
+    n: int,
+    k: int,
+    *,
+    machine: MachineConfig | None = None,
+    a: np.ndarray | None = None,
+    b: np.ndarray | None = None,
+    c: np.ndarray | None = None,
+    cpu_rows: int | None = None,
+) -> HeteroResult:
+    """Co-execute ``C += A @ B`` on the CPU and one GPDSP cluster."""
+    machine = machine or default_machine()
+    shape = GemmShape(m, n, k)
+    if cpu_rows is None:
+        cpu_rows = best_split(shape, machine)
+    if not 0 <= cpu_rows < m:
+        raise ShapeError(f"cpu_rows={cpu_rows} outside 0..{m - 1}")
+    dsp_rows = m - cpu_rows
+
+    dsp_kwargs = {}
+    if a is not None:
+        # CPU slice: the NumPy matmul *is* the OpenBLAS stand-in
+        if cpu_rows:
+            c[:cpu_rows] += a[:cpu_rows] @ b
+        dsp_kwargs = dict(a=a[cpu_rows:], b=b, c=c[cpu_rows:])
+
+    dsp_result = ftimm_gemm(
+        dsp_rows, n, k, machine=machine, timing="analytic", **dsp_kwargs
+    )
+    cpu_s = _cpu_seconds(cpu_rows, shape, machine)
+    dsp_s = dsp_result.seconds
+    return HeteroResult(
+        shape=shape,
+        cpu_rows=cpu_rows,
+        dsp_rows=dsp_rows,
+        seconds=max(cpu_s, dsp_s),
+        cpu_seconds=cpu_s,
+        dsp_seconds=dsp_s,
+        dsp_result=dsp_result,
+        dsp_only_seconds=_dsp_seconds(m, shape, machine),
+    )

@@ -1,0 +1,178 @@
+"""Shared machinery for lowering GEMM drivers to op streams.
+
+The three drivers (TGEMM, M-parallel, K-parallel) differ in loop structure
+but share everything else: tile buffer allocation against the capacity-
+checked :class:`~repro.hw.cluster.ClusterSpaces`, DMA descriptor creation,
+functional copy-in/copy-out closures, cooperative (split-across-cores)
+loads of shared GSM tiles, and round-robin chunk assignment.
+
+In *timing-only* mode (``data=None``) buffers are unbacked and closures are
+omitted — the emitted plan carries only geometry and cycle counts, so
+multi-gigabyte problems lower cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..errors import PlanError
+from ..hw.cluster import ClusterSpaces
+from ..hw.config import ClusterConfig
+from ..hw.dma import DmaDescriptor
+from ..hw.memory import Buffer, MemKind
+from ..kernels.registry import KernelRegistry, registry_for
+from .blocking import DTYPE_SIZES
+from .shapes import GemmShape
+
+FP32 = 4
+DTYPE_NUMPY = {"f32": np.float32, "f64": np.float64}
+
+
+def block_ranges(total: int, block: int) -> Iterator[tuple[int, int, int]]:
+    """Yield ``(index, start, extent)`` for blocking ``total`` by ``block``."""
+    if block < 1:
+        raise PlanError(f"block size must be >= 1, got {block}")
+    index = 0
+    start = 0
+    while start < total:
+        yield index, start, min(block, total - start)
+        index += 1
+        start += block
+
+
+def chunks_for_core(total: int, block: int, core: int, n_cores: int):
+    """Round-robin assignment of blocked chunks to one core."""
+    for index, start, extent in block_ranges(total, block):
+        if index % n_cores == core:
+            yield index, start, extent
+
+
+@dataclass
+class GemmOperands:
+    """The DDR-resident operands of one GEMM call (functional mode)."""
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+
+    @classmethod
+    def check(cls, shape: GemmShape, a, b, c, dtype: str = "f32") -> "GemmOperands":
+        expected = DTYPE_NUMPY[dtype]
+        for name, arr in (("A", a), ("B", b), ("C", c)):
+            if arr.dtype != expected:
+                raise PlanError(
+                    f"{name} must be {np.dtype(expected).name}, got {arr.dtype}"
+                )
+        if a.shape != (shape.m, shape.k):
+            raise PlanError(f"A shape {a.shape} != {(shape.m, shape.k)}")
+        if b.shape != (shape.k, shape.n):
+            raise PlanError(f"B shape {b.shape} != {(shape.k, shape.n)}")
+        if c.shape != (shape.m, shape.n):
+            raise PlanError(f"C shape {c.shape} != {(shape.m, shape.n)}")
+        return cls(a, b, c)
+
+
+class LoweringContext:
+    """Per-lowering state: spaces, kernel registry, functional operands."""
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        shape: GemmShape,
+        data: GemmOperands | None,
+        registry: KernelRegistry | None = None,
+        dtype: str = "f32",
+    ) -> None:
+        self.cluster = cluster
+        self.shape = shape
+        self.data = data
+        self.dtype = dtype
+        self.esize = DTYPE_SIZES[dtype]
+        self.spaces = ClusterSpaces(cluster)
+        self.registry = registry or registry_for(cluster.core)
+
+    @property
+    def backed(self) -> bool:
+        return self.data is not None
+
+    # -- buffers -----------------------------------------------------------
+
+    def alloc(
+        self,
+        kind: MemKind,
+        core: int,
+        rows: int,
+        cols: int,
+        label: str,
+        *,
+        slots: int = 1,
+    ) -> list[Buffer]:
+        """Allocate ``slots`` identical tile buffers (ping-pong pairs)."""
+        space = self.spaces.space(kind, core)
+        return [
+            space.alloc(
+                (rows, cols),
+                DTYPE_NUMPY[self.dtype],
+                backed=self.backed,
+                label=f"{label}[{s}]" if slots > 1 else label,
+            )
+            for s in range(slots)
+        ]
+
+    # -- functional closures -------------------------------------------------
+
+    def copy_in(
+        self, buf: Buffer, src: np.ndarray, rows: int, cols: int
+    ) -> Callable[[], None] | None:
+        if not self.backed:
+            return None
+        dst = buf.array()
+
+        def run() -> None:
+            dst[:rows, :cols] = src
+
+        return run
+
+    def copy_out(
+        self, dst: np.ndarray, buf: Buffer, rows: int, cols: int
+    ) -> Callable[[], None] | None:
+        if not self.backed:
+            return None
+        src = buf.array()
+
+        def run() -> None:
+            dst[:] = src[:rows, :cols]
+
+        return run
+
+    # -- descriptors ---------------------------------------------------------
+
+    def desc(
+        self, src: MemKind, dst: MemKind, rows: int, cols: int, tag: str
+    ) -> DmaDescriptor:
+        return DmaDescriptor(
+            src, dst, rows=rows, row_bytes=cols * self.esize, tag=tag
+        )
+
+    # -- cooperative GSM fills -------------------------------------------------
+
+    def split_rows(self, rows: int) -> list[tuple[int, int, int]]:
+        """Split ``rows`` as evenly as possible across cores.
+
+        Returns ``(core, start, extent)`` triples; cores with no share are
+        omitted.  Used for loading shared GSM tiles (A_g in Alg. 1, B_g in
+        Alg. 4, C_g in Alg. 5) with all DMA engines cooperating.
+        """
+        n = self.cluster.n_cores
+        base, rem = divmod(rows, n)
+        out = []
+        start = 0
+        for core in range(n):
+            extent = base + (1 if core < rem else 0)
+            if extent > 0:
+                out.append((core, start, extent))
+            start += extent
+        return out

@@ -1,0 +1,165 @@
+"""Multi-cluster GEMM across the four GPDSP clusters of FT-m7032.
+
+The paper evaluates a single GPDSP cluster; the chip has four, each with
+its **own** DDR port (Section II: "each GPDSP cluster can only access its
+own corresponding part" of main memory).  This extension scales ftIMM
+across clusters:
+
+* **M-split** (types 1 and 3, and any M large enough): each cluster runs
+  ftIMM on a contiguous M-slice.  Operand A and the C rows are private
+  per cluster; B must be replicated into every cluster's memory partition
+  once (host-mediated copy, costed at the CPU's DDR bandwidth).  Since
+  the ports are private, memory-bound shapes scale nearly linearly —
+  unlike the intra-cluster scaling of Fig. 6 where eight cores fight over
+  one port.
+
+* **K-split** (type 2): each cluster computes a partial C over a K-slice;
+  the host CPU reduces the partials ((n_clusters + 2) x C traffic).  For
+  the irregular domain C is skinny, so — unlike Alg. 5's per-tile GSM
+  reduction inside a cluster — the one-shot reduction is cheap and
+  K-split also scales nearly linearly; only short K (poor per-cluster
+  amortization) erodes it.  The ``ext_multicluster`` experiment
+  quantifies both effects.
+
+Functional execution composes the per-cluster functional runs (slices of
+the same operands), so correctness is testable end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PlanError, ShapeError
+from ..hw.config import MachineConfig, default_machine
+from .ftimm import GemmResult, ftimm_gemm
+from .shapes import GemmShape
+from .tuner import choose_strategy
+
+FP32 = 4
+
+
+@dataclass
+class MultiClusterResult:
+    """Outcome of a GEMM spread over several GPDSP clusters."""
+
+    shape: GemmShape
+    n_clusters: int
+    split: str                     # "m" | "k" | "single"
+    seconds: float
+    cluster_results: list[GemmResult]
+    replicate_seconds: float       # B replication (m-split)
+    reduce_seconds: float          # host reduction (k-split)
+
+    @property
+    def gflops(self) -> float:
+        if self.seconds <= 0:
+            raise PlanError("no timing was requested (timing='none')")
+        return self.shape.flops / self.seconds / 1e9
+
+    @property
+    def efficiency(self) -> float:
+        peak = sum(
+            r.timing.peak_flops for r in self.cluster_results if r.timing
+        )
+        if self.seconds <= 0 or peak <= 0:
+            raise PlanError("no timing was requested (timing='none')")
+        return self.shape.flops / (self.seconds * peak)
+
+
+def _split_extents(total: int, parts: int) -> list[int]:
+    base, rem = divmod(total, parts)
+    return [base + (1 if i < rem else 0) for i in range(parts) if base + (1 if i < rem else 0) > 0]
+
+
+def choose_split(shape: GemmShape, machine: MachineConfig) -> str:
+    """M-split whenever each cluster keeps a worthwhile M share."""
+    per_cluster_m = shape.m // machine.n_clusters
+    if choose_strategy(shape, machine.cluster) == "k" and per_cluster_m < 256:
+        return "k"
+    return "m"
+
+
+def multi_cluster_gemm(
+    m: int,
+    n: int,
+    k: int,
+    *,
+    machine: MachineConfig | None = None,
+    n_clusters: int | None = None,
+    a: np.ndarray | None = None,
+    b: np.ndarray | None = None,
+    c: np.ndarray | None = None,
+    split: str | None = None,
+    timing: str = "analytic",
+) -> MultiClusterResult:
+    """Run ``C += A @ B`` across up to four GPDSP clusters."""
+    machine = machine or default_machine()
+    shape = GemmShape(m, n, k)
+    clusters = n_clusters if n_clusters is not None else machine.n_clusters
+    if not 1 <= clusters <= machine.n_clusters:
+        raise ShapeError(
+            f"n_clusters={clusters} outside 1..{machine.n_clusters}"
+        )
+    mode = split or choose_split(shape, machine)
+    if mode not in ("m", "k"):
+        raise PlanError(f"unknown split {mode!r}")
+
+    have_data = a is not None
+    cpu_bw = machine.cpu.ddr_bandwidth
+
+    def _secs(result: GemmResult) -> float:
+        return result.seconds if result.timing is not None else 0.0
+
+    if clusters == 1:
+        result = ftimm_gemm(m, n, k, a=a, b=b, c=c, machine=machine, timing=timing)
+        return MultiClusterResult(
+            shape, 1, "single", _secs(result), [result], 0.0, 0.0
+        )
+
+    if mode == "m":
+        extents = _split_extents(m, clusters)
+        results = []
+        row = 0
+        for extent in extents:
+            kwargs = {}
+            if have_data:
+                kwargs = dict(
+                    a=a[row : row + extent], b=b, c=c[row : row + extent]
+                )
+            results.append(
+                ftimm_gemm(extent, n, k, machine=machine, timing=timing, **kwargs)
+            )
+            row += extent
+        # replicate B into each cluster's memory partition (host copy)
+        replicate_s = (len(extents) - 1) * shape.b_bytes / cpu_bw
+        seconds = replicate_s + max(_secs(r) for r in results)
+        return MultiClusterResult(
+            shape, len(extents), "m", seconds, results, replicate_s, 0.0
+        )
+
+    # K-split: per-cluster partials + host reduction
+    extents = _split_extents(k, clusters)
+    results = []
+    partials: list[np.ndarray] = []
+    col = 0
+    for extent in extents:
+        kwargs = {}
+        if have_data:
+            partial = np.zeros((m, n), dtype=np.float32)
+            partials.append(partial)
+            kwargs = dict(a=a[:, col : col + extent], b=b[col : col + extent], c=partial)
+        results.append(
+            ftimm_gemm(m, n, extent, machine=machine, timing=timing, **kwargs)
+        )
+        col += extent
+    if have_data:
+        for partial in partials:
+            c += partial
+    # host reads all partials and the original C, writes C back
+    reduce_s = (len(extents) + 2) * shape.c_bytes / cpu_bw
+    seconds = max(_secs(r) for r in results) + reduce_s
+    return MultiClusterResult(
+        shape, len(extents), "k", seconds, results, 0.0, reduce_s
+    )

@@ -1,0 +1,157 @@
+"""Persistent tuning cache.
+
+Auto-tuning with DES validation costs seconds per shape; production BLAS
+libraries persist tuned configurations and reuse them across runs (the
+approach of ATLAS and of AutoTSMM's offline stage).  This module stores
+:func:`repro.core.autotune.autotune` outcomes keyed by (shape, cores,
+dtype), round-trips them through JSON, and rebuilds the winning plan on
+load.
+
+    cache = TuningCache.load("tuned.json")
+    entry = cache.get_or_tune(GemmShape(65536, 32, 32), cluster)
+    build_parallel_m(shape, cluster, plan=entry.plan, adjust=False)
+    cache.save("tuned.json")
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import PlanError
+from ..hw.config import ClusterConfig
+from .autotune import AutotuneResult, autotune
+from .blocking import KPlan, MPlan
+from .shapes import GemmShape
+
+_PLAN_TYPES = {"m": MPlan, "k": KPlan}
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    m: int
+    n: int
+    k: int
+    n_cores: int
+    dtype: str = "f32"
+
+    @classmethod
+    def of(cls, shape: GemmShape, cluster: ClusterConfig, dtype: str = "f32"):
+        return cls(shape.m, shape.n, shape.k, cluster.n_cores, dtype)
+
+    def to_str(self) -> str:
+        return f"{self.m}x{self.n}x{self.k}@{self.n_cores}c/{self.dtype}"
+
+    @classmethod
+    def from_str(cls, text: str) -> "CacheKey":
+        dims, rest = text.split("@")
+        cores, dtype = rest.split("/")
+        m, n, k = (int(x) for x in dims.split("x"))
+        return cls(m, n, k, int(cores[:-1]), dtype)
+
+
+@dataclass
+class CacheEntry:
+    strategy: str            # "m" | "k"
+    plan_fields: dict
+    seconds: float
+    validated: bool
+
+    @property
+    def plan(self):
+        return _PLAN_TYPES[self.strategy](**self.plan_fields)
+
+    @classmethod
+    def from_result(cls, result: AutotuneResult) -> "CacheEntry":
+        best = result.best
+        return cls(
+            strategy=best.strategy,
+            plan_fields=dataclasses.asdict(best.plan),
+            seconds=best.seconds,
+            validated=best.validated,
+        )
+
+
+@dataclass
+class TuningCache:
+    """In-memory map of tuned plans with JSON persistence."""
+
+    entries: dict[CacheKey, CacheEntry] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def get(self, key: CacheKey) -> CacheEntry | None:
+        entry = self.entries.get(key)
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def get_or_tune(
+        self,
+        shape: GemmShape,
+        cluster: ClusterConfig,
+        *,
+        dtype: str = "f32",
+        **autotune_kwargs,
+    ) -> CacheEntry:
+        key = CacheKey.of(shape, cluster, dtype)
+        entry = self.get(key)
+        if entry is not None:
+            return entry
+        self.misses += 1
+        if dtype != "f32":
+            raise PlanError("the autotuner currently searches f32 plans only")
+        result = autotune(shape, cluster, **autotune_kwargs)
+        entry = CacheEntry.from_result(result)
+        self.entries[key] = entry
+        return entry
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                key.to_str(): {
+                    "strategy": e.strategy,
+                    "plan": e.plan_fields,
+                    "seconds": e.seconds,
+                    "validated": e.validated,
+                }
+                for key, e in self.entries.items()
+            },
+            indent=1,
+            sort_keys=True,
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuningCache":
+        raw = json.loads(text)
+        cache = cls()
+        for key_text, payload in raw.items():
+            strategy = payload["strategy"]
+            if strategy not in _PLAN_TYPES:
+                raise PlanError(f"unknown strategy {strategy!r} in cache")
+            cache.entries[CacheKey.from_str(key_text)] = CacheEntry(
+                strategy=strategy,
+                plan_fields=dict(payload["plan"]),
+                seconds=float(payload["seconds"]),
+                validated=bool(payload["validated"]),
+            )
+        return cache
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TuningCache":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        return cls.from_json(path.read_text())
+
+    def __len__(self) -> int:
+        return len(self.entries)

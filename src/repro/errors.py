@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single except clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A machine configuration is inconsistent or out of range."""
+
+
+class CapacityError(ReproError):
+    """An on-chip memory allocation exceeded the space's capacity."""
+
+
+class AllocationError(ReproError):
+    """A buffer operation (free, view) was used incorrectly."""
+
+
+class ScheduleError(ReproError):
+    """The modulo scheduler could not produce a legal schedule."""
+
+
+class IsaError(ReproError):
+    """An instruction is malformed or used an unknown register/operand."""
+
+
+class KernelError(ReproError):
+    """A micro-kernel specification is unsupported by the generator."""
+
+
+class PlanError(ReproError):
+    """A GEMM execution plan is malformed or violates hardware limits."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ShapeError(ReproError):
+    """A GEMM problem shape is invalid (non-positive or overflowing)."""

@@ -1,0 +1,36 @@
+"""Executors: three ways to run a lowered plan.
+
+* :func:`~repro.executor.functional.run_functional` — compute the real
+  result (correctness).
+* :func:`~repro.executor.timed.run_timed` — discrete-event timing with
+  DMA/compute overlap and bandwidth contention.
+* :mod:`~repro.executor.analytic` — closed-form timing for huge shapes.
+"""
+
+from .analytic import (
+    analytic_parallel_k,
+    analytic_parallel_m,
+    analytic_tgemm,
+    busiest_core_chunks,
+    pingpong_seq,
+    pingpong_uniform,
+)
+from .functional import FunctionalReport, run_functional
+from .timed import TimedResult, run_timed
+from .trace import RowSummary, Span, TraceRecorder
+
+__all__ = [
+    "FunctionalReport",
+    "RowSummary",
+    "Span",
+    "TimedResult",
+    "TraceRecorder",
+    "analytic_parallel_k",
+    "analytic_parallel_m",
+    "analytic_tgemm",
+    "busiest_core_chunks",
+    "pingpong_seq",
+    "pingpong_uniform",
+    "run_functional",
+    "run_timed",
+]

@@ -1,0 +1,202 @@
+"""Discrete-event (fine-grained) timing of a lowered plan.
+
+Each core's op stream is walked by a simulation process:
+
+* DMA ops spawn onto the core's DMA engine (FIFO channels), with the data
+  movement charged to the contended DDR or GSM channel;
+* KERNEL ops spawn onto the core's single compute pipeline;
+* both wait first for their explicit ``deps`` (ping-pong buffer reuse);
+* SYNC ops make the walk wait until every prior op of this core completed,
+  then until all cores arrived, then a barrier delay plus any modeled
+  reduction time elapses.
+
+Because processes spawn eagerly inside an epoch, DMA for iteration ``i+1``
+naturally overlaps compute for iteration ``i`` exactly where the plan's
+dependencies allow — the ping-pong behaviour of Algorithms 1, 4 and 5
+emerges rather than being hard-coded.
+
+A sliding window caps in-flight processes per core so multi-hundred-
+thousand-op plans simulate in bounded memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.plans import GemmExecution, OpKind
+from ..errors import SimulationError
+from ..hw.cluster import ClusterSim
+from ..hw.event_sim import Event, Simulator
+from .trace import TraceRecorder
+
+#: max op processes spawned ahead of the oldest incomplete one, per core.
+_WINDOW = 128
+
+
+@dataclass
+class TimedResult:
+    """Timing outcome of one simulated GEMM execution."""
+
+    seconds: float
+    shape_flops: int
+    executed_flops: int
+    strategy: str
+    n_cores: int
+    peak_flops: float
+    events_processed: int
+    dma_bytes: int
+    core_busy: list[float] = field(default_factory=list)
+    ddr_mean_concurrency: float = 0.0
+    #: fraction of the *theoretical* DDR port drawn on average (set when
+    #: run_timed(record_bandwidth=True)); the paper's "actual bandwidth
+    #: below theoretical" quantity
+    ddr_utilization: float | None = None
+
+    @property
+    def gflops(self) -> float:
+        """Useful-problem GFLOP/s (TGEMM's padding work doesn't count)."""
+        return self.shape_flops / self.seconds / 1e9 if self.seconds else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        return self.shape_flops / (self.seconds * self.peak_flops) if self.seconds else 0.0
+
+
+def run_timed(
+    execution: GemmExecution,
+    trace: TraceRecorder | None = None,
+    *,
+    record_bandwidth: bool = False,
+) -> TimedResult:
+    """Simulate the plan and return elapsed time + utilization stats.
+
+    Pass a :class:`~repro.executor.trace.TraceRecorder` to capture a span
+    per op (kernel spans are exact; DMA spans cover queueing + transfer);
+    ``record_bandwidth=True`` additionally samples the DDR channel's
+    aggregate draw and reports its time-average against the theoretical
+    port.
+    """
+    cluster = ClusterSim(execution.cluster, record_bandwidth=record_bandwidth)
+    sim = cluster.sim
+    n_cores = execution.cluster.n_cores
+
+    # barrier plumbing: per sync id, one arrival event per core and a done
+    # event that fires barrier_cycles + sync_seconds after the last arrival
+    arrivals: dict[int, list[Event]] = {}
+    done: dict[int, Event] = {}
+    for sid in range(execution.n_syncs):
+        arrivals[sid] = [sim.event(f"arrive{sid}c{c}") for c in range(n_cores)]
+        done[sid] = sim.event(f"sync{sid}done")
+
+    barrier_s = execution.cluster.barrier_cycles / execution.cluster.core.clock_hz
+    sync_seconds: dict[int, float] = {}
+    for core_ops in execution.core_ops:
+        for op in core_ops:
+            if op.kind is OpKind.SYNC:
+                sync_seconds[op.sync_id] = op.sync_seconds
+
+    for sid in range(execution.n_syncs):
+        def _arm(sid: int = sid) -> None:
+            gathered = sim.all_of(arrivals[sid])
+
+            def _fire(_ev: Event, sid: int = sid) -> None:
+                delay = barrier_s + sync_seconds.get(sid, 0.0)
+                sim.timeout(delay).wait(lambda _e: done[sid].succeed())
+
+            gathered.wait(_fire)
+
+        _arm()
+
+    clock = execution.cluster.core.clock_hz
+
+    def dma_proc(core: int, op, dep_events: list[Event]):
+        if dep_events:
+            yield sim.all_of(dep_events)
+        start = sim.now
+        yield cluster.cores[core].dma.issue(op.desc)
+        if trace is not None:
+            trace.add(f"core{core}/dma", op.tag or "dma", start, sim.now, "dma")
+
+    def kernel_proc(core: int, op, dep_events: list[Event]):
+        if dep_events:
+            yield sim.all_of(dep_events)
+        yield cluster.cores[core].run_kernel(op.cycles, tag=op.tag)
+        if trace is not None:
+            duration = op.cycles / clock
+            trace.add(
+                f"core{core}/compute", op.tag or "kernel",
+                sim.now - duration, sim.now, "kernel",
+            )
+
+    def walk(core: int, ops):
+        events: list[Event | None] = [None] * len(ops)
+        for idx, op in enumerate(ops):
+            if idx >= _WINDOW:
+                old = events[idx - _WINDOW]
+                if old is not None and not old.triggered:
+                    yield old
+            if op.kind is OpKind.SYNC:
+                prior = [e for e in events[:idx] if e is not None and not e.triggered]
+                if prior:
+                    yield sim.all_of(prior)
+                arrival_t = sim.now
+                arrivals[op.sync_id][core].succeed()
+                yield done[op.sync_id]
+                if trace is not None and core == 0:
+                    trace.add(
+                        "cluster/sync", op.tag or f"sync{op.sync_id}",
+                        arrival_t, sim.now, "sync",
+                    )
+                events[idx] = done[op.sync_id]
+                continue
+            deps = [events[d] for d in op.deps]
+            if any(e is None for e in deps):
+                raise SimulationError(f"op {idx} on core {core} has unresolved dep")
+            if op.kind is OpKind.DMA:
+                events[idx] = sim.process(dma_proc(core, op, deps), f"dma{core}.{idx}")
+            else:
+                events[idx] = sim.process(
+                    kernel_proc(core, op, deps), f"k{core}.{idx}"
+                )
+        remaining = [e for e in events if e is not None and not e.triggered]
+        if remaining:
+            yield sim.all_of(remaining)
+
+    walkers = [
+        sim.process(walk(core, ops), f"walk{core}")
+        for core, ops in enumerate(execution.core_ops)
+    ]
+    sim.all_of(walkers, "plan_done")
+    sim.run()
+    for w in walkers:
+        if not w.triggered:
+            raise SimulationError(
+                "plan deadlocked: a core never finished its op stream"
+            )
+
+    # per-precision peak: the plan's dtype sets lanes per register
+    plan = execution.meta.get("plan")
+    esize = getattr(plan, "esize", 4)
+    peak = execution.cluster.peak_flops * 4 / esize
+    utilization = None
+    if record_bandwidth and cluster.ddr_channel.timeline is not None:
+        from ..hw.bandwidth import mean_utilization
+
+        utilization = mean_utilization(
+            cluster.ddr_channel.timeline,
+            execution.cluster.ddr_bandwidth,
+            sim.now,
+        )
+    return TimedResult(
+        seconds=sim.now,
+        shape_flops=execution.shape.flops,
+        executed_flops=execution.total_flops,
+        strategy=execution.strategy,
+        n_cores=n_cores,
+        peak_flops=peak,
+        events_processed=sim.events_processed,
+        dma_bytes=sum(c.dma.bytes_moved for c in cluster.cores),
+        core_busy=[c.busy_time for c in cluster.cores],
+        ddr_mean_concurrency=cluster.ddr_channel.stats.mean_concurrency(),
+        ddr_utilization=utilization,
+    )

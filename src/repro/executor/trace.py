@@ -1,0 +1,154 @@
+"""Execution traces from the event-driven executor.
+
+A :class:`TraceRecorder` passed to :func:`repro.executor.timed.run_timed`
+collects one span per op — kernels on each core's compute row, DMA
+transfers on its engine row, syncs on a cluster row — and can
+
+* export Chrome-trace JSON (load in ``chrome://tracing`` / Perfetto),
+* compute per-row utilization summaries,
+* render a coarse ASCII timeline for terminal inspection.
+
+This is how one *sees* the ping-pong: with double buffering working, the
+DMA row of a core stays busy underneath the compute row instead of
+alternating with it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Span:
+    row: str        # e.g. "core3/compute", "core3/dma", "cluster/sync"
+    name: str       # op tag
+    start: float    # seconds
+    end: float
+    category: str   # "kernel" | "dma" | "sync"
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class RowSummary:
+    row: str
+    spans: int
+    busy: float
+    first: float
+    last: float
+
+    @property
+    def utilization(self) -> float:
+        window = self.last - self.first
+        return self.busy / window if window > 0 else 0.0
+
+
+@dataclass
+class TraceRecorder:
+    """Collects spans during a timed run."""
+
+    spans: list[Span] = field(default_factory=list)
+
+    def add(self, row: str, name: str, start: float, end: float, category: str) -> None:
+        if end < start:
+            raise SimulationError(f"span {name!r} ends before it starts")
+        self.spans.append(Span(row, name, start, end, category))
+
+    # -- outputs -------------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome-trace ("trace event format") dict; times in microseconds."""
+        rows = sorted({s.row for s in self.spans})
+        tids = {row: i for i, row in enumerate(rows)}
+        events = [
+            {
+                "name": row,
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "cat": "__metadata",
+                "args": {"name": row},
+            }
+            for row, tid in tids.items()
+        ]
+        for span in self.spans:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tids[span.row],
+                    "ts": span.start * 1e6,
+                    "dur": span.duration * 1e6,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome_trace()))
+        return path
+
+    def summarize(self) -> list[RowSummary]:
+        """Per-row busy time; overlapping spans on a row are merged."""
+        by_row: dict[str, list[Span]] = {}
+        for span in self.spans:
+            by_row.setdefault(span.row, []).append(span)
+        out = []
+        for row, spans in sorted(by_row.items()):
+            intervals = sorted((s.start, s.end) for s in spans)
+            busy = 0.0
+            cur_start, cur_end = intervals[0]
+            for start, end in intervals[1:]:
+                if start > cur_end:
+                    busy += cur_end - cur_start
+                    cur_start, cur_end = start, end
+                else:
+                    cur_end = max(cur_end, end)
+            busy += cur_end - cur_start
+            out.append(
+                RowSummary(
+                    row=row,
+                    spans=len(spans),
+                    busy=busy,
+                    first=min(s.start for s in spans),
+                    last=max(s.end for s in spans),
+                )
+            )
+        return out
+
+    def ascii_timeline(self, width: int = 72) -> str:
+        """Coarse terminal Gantt: one line per row, '#' where busy."""
+        if not self.spans:
+            return "(empty trace)"
+        t0 = min(s.start for s in self.spans)
+        t1 = max(s.end for s in self.spans)
+        scale = (t1 - t0) or 1.0
+        lines = []
+        name_w = max(len(s.row) for s in self.spans)
+        for summary in self.summarize():
+            cells = [" "] * width
+            for span in self.spans:
+                if span.row != summary.row:
+                    continue
+                lo = int((span.start - t0) / scale * (width - 1))
+                hi = max(lo, int((span.end - t0) / scale * (width - 1)))
+                for i in range(lo, hi + 1):
+                    cells[i] = "#"
+            lines.append(
+                f"{summary.row.ljust(name_w)} |{''.join(cells)}| "
+                f"{100 * summary.utilization:5.1f}%"
+            )
+        lines.append(f"{'':{name_w}}  span: {scale * 1e6:.1f} us")
+        return "\n".join(lines)
+
+    @property
+    def n_spans(self) -> int:
+        return len(self.spans)

@@ -1,0 +1,32 @@
+"""Shared helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from ..core.ftimm import GemmResult, ftimm_gemm, tgemm_gemm
+from ..hw.config import MachineConfig, default_machine
+
+#: the N sweep the paper's per-type panels appear to use (N <= 96).
+N_SWEEP = [8, 16, 32, 48, 64, 80, 96]
+#: the M (or K) sweep of Fig. 5 d/e.
+POW2_SWEEP = [2**16, 2**18, 2**20, 2**22]
+#: Fig. 5(f)'s M = K sweep.
+MK_SWEEP = [4096, 8192, 12288, 16384, 20480]
+#: the "large" dimension the paper fixes in several panels.
+BIG = 20480
+#: Fig. 5(a)'s fixed M ("216" in the extracted text, read as 2^16).
+M_FIG5A = 65536
+
+
+def run_pair(
+    m: int,
+    n: int,
+    k: int,
+    machine: MachineConfig | None = None,
+    cores: int | None = None,
+    timing: str = "auto",
+) -> tuple[GemmResult, GemmResult]:
+    """(ftIMM, TGEMM) results for one shape."""
+    machine = machine or default_machine()
+    ft = ftimm_gemm(m, n, k, machine=machine, cores=cores, timing=timing)
+    tg = tgemm_gemm(m, n, k, machine=machine, cores=cores, timing=timing)
+    return ft, tg

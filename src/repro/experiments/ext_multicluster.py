@@ -1,0 +1,98 @@
+"""Extension experiment (not in the paper): scaling across GPDSP clusters.
+
+FT-m7032 has four GPDSP clusters with *private* DDR ports; the paper's
+evaluation stays within one.  Because the intra-cluster scaling of Fig. 6
+is capped by the single shared port, the natural question is what the full
+chip buys.  Expectation encoded here:
+
+* M-splittable shapes (types 1/3) scale nearly linearly with clusters —
+  adding a cluster adds a memory port, precisely the bottleneck resource;
+* the K-split type-2 case *also* scales nearly linearly — a finding that
+  contrasts with Alg. 5's intra-cluster reduction (the worst scaler of
+  Fig. 6): the cross-cluster reduction happens once per GEMM on a skinny
+  C (N <= 96), so its cost is negligible, whereas the in-cluster
+  reduction pays GSM traffic and a barrier per C tile.  Only for short K
+  does per-cluster amortization start to bite (the 2^14 case).
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import Claim, ExperimentResult, Series
+from ..core.multi_cluster import multi_cluster_gemm
+from ..hw.config import MachineConfig, default_machine
+
+CLUSTER_SWEEP = [1, 2, 4]
+CASES = [
+    ("type1: 2^22 x 32 x 32", (2**22, 32, 32), "m"),
+    ("type3: 20480 x 32 x 20480", (20480, 32, 20480), "m"),
+    ("type2: 32 x 32 x 2^22 (K-split)", (32, 32, 2**22), "k"),
+    ("type2: 32 x 32 x 2^14 (K-split, short)", (32, 32, 2**14), "k"),
+]
+
+
+def run(machine: MachineConfig | None = None) -> list[ExperimentResult]:
+    machine = machine or default_machine()
+    series = []
+    final: dict[str, float] = {}
+    for label, (m, n, k), split in CASES:
+        baseline = None
+        speedups = []
+        for clusters in CLUSTER_SWEEP:
+            r = multi_cluster_gemm(
+                m, n, k, machine=machine, n_clusters=clusters, split=split
+            )
+            if baseline is None:
+                baseline = r.seconds
+            speedups.append(baseline / r.seconds)
+        final[label] = speedups[-1]
+        series.append(Series(label, list(CLUSTER_SWEEP), speedups))
+
+    m_cases = [v for key, v in final.items() if "K-split" not in key]
+    k_deep = next(v for key, v in final.items() if "2^22 (K" in key)
+    k_short = next(v for key, v in final.items() if "short" in key)
+    claims = [
+        Claim(
+            name="M-split scales near-linearly",
+            paper="(extension) private DDR ports remove the Fig. 6 cap",
+            measured=f"{min(m_cases):.2f}x on 4 clusters",
+            holds=min(m_cases) > 3.0,
+        ),
+        Claim(
+            name="K-split scales too (one-shot skinny-C reduction)",
+            paper="(extension) unlike Alg. 5's per-tile GSM reduction",
+            measured=f"{k_deep:.2f}x on 4 clusters at K=2^22",
+            holds=k_deep > 3.5,
+        ),
+        Claim(
+            name="short K pays the amortization",
+            paper="(extension) per-cluster K shrinks below efficiency knee",
+            measured=f"{k_short:.2f}x at K=2^14 vs {k_deep:.2f}x at 2^22",
+            holds=k_short < k_deep,
+        ),
+        Claim(
+            name="beats intra-cluster scaling",
+            paper="Fig. 6 tops out near 3.3x on 8 cores of one port",
+            measured=f"M-split: {max(m_cases):.2f}x on 4 clusters",
+            holds=max(m_cases) > 3.3,
+        ),
+    ]
+    return [
+        ExperimentResult(
+            exp_id="ext_multicluster",
+            title="scaling across GPDSP clusters (extension)",
+            x_label="clusters",
+            y_label="speedup vs 1 cluster",
+            series=series,
+            claims=claims,
+        )
+    ]
+
+
+def main() -> None:
+    for result in run():
+        print(result.render(chart=True))
+        print()
+
+
+if __name__ == "__main__":
+    main()

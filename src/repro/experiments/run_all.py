@@ -1,0 +1,105 @@
+"""Run every experiment and regenerate EXPERIMENTS.md.
+
+Usage::
+
+    python -m repro.experiments.run_all [output.md] [--json data.json]
+
+Writes the paper-vs-measured record for Tables I-III and Figures 3-7
+(plus the ext_* extensions); ``--json`` additionally dumps every series
+and claim as machine-readable data for external plotting.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from ..analysis.tables import ExperimentResult
+from . import (
+    ext_autotune,
+    ext_bandwidth,
+    ext_fp64,
+    ext_hetero,
+    ext_multicluster,
+    ext_sensitivity,
+    ext_workloads,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    tables123,
+)
+
+MODULES = [
+    tables123, fig3, fig4, fig5, fig6, fig7,
+    ext_fp64, ext_multicluster, ext_autotune, ext_workloads,
+    ext_sensitivity, ext_hetero, ext_bandwidth,
+]
+
+HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Reproduction of every table and figure in the evaluation of
+*"Optimizing Irregular-Shaped Matrix-Matrix Multiplication on Multi-Core
+DSPs"* (CLUSTER 2022), measured on the simulated FT-m7032 GPDSP cluster of
+this repository (see DESIGN.md for the substitution rationale).  Absolute
+GFLOPS are modeled, not silicon measurements; the claims tables record
+whether each of the paper's qualitative/quantitative observations holds.
+
+The ``ext_*`` experiments at the end are extensions beyond the paper's
+evaluation (FP64 kernels, multi-cluster scaling, model-driven tuning);
+their "paper" column records the extension's stated expectation.
+
+Regenerate with `python -m repro.experiments.run_all`.
+"""
+
+
+def run_everything() -> list[ExperimentResult]:
+    results: list[ExperimentResult] = []
+    for module in MODULES:
+        t0 = time.perf_counter()
+        module_results = module.run()
+        dt = time.perf_counter() - t0
+        print(f"[{module.__name__}] {len(module_results)} experiments in {dt:.1f}s")
+        results.extend(module_results)
+    return results
+
+
+def write_markdown(results: list[ExperimentResult], path: Path) -> None:
+    total = sum(len(r.claims) for r in results)
+    held = sum(sum(c.holds for c in r.claims) for r in results)
+    parts = [HEADER]
+    parts.append(f"**Claims held: {held} / {total}.**\n")
+    for result in results:
+        parts.append(result.to_markdown())
+    path.write_text("\n".join(parts))
+    print(f"wrote {path} ({held}/{total} claims hold)")
+
+
+def write_json(results: list[ExperimentResult], path: Path) -> None:
+    path.write_text(json.dumps([r.to_dict() for r in results], indent=1))
+    print(f"wrote {path}")
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = list(argv if argv is not None else sys.argv[1:])
+    json_path: Path | None = None
+    if "--json" in args:
+        i = args.index("--json")
+        json_path = Path(args[i + 1])
+        del args[i : i + 2]
+    out = Path(args[0]) if args else Path(__file__).resolve().parents[3] / "EXPERIMENTS.md"
+    results = run_everything()
+    for result in results:
+        print()
+        print(result.render(chart=True))
+    write_markdown(results, out)
+    if json_path is not None:
+        write_json(results, json_path)
+
+
+if __name__ == "__main__":
+    main()

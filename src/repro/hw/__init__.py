@@ -1,0 +1,56 @@
+"""Hardware model of the FT-m7032 GPDSP cluster.
+
+Submodules:
+
+* :mod:`repro.hw.config` — machine parameters (the reference ``FT_M7032``).
+* :mod:`repro.hw.memory` — software-managed memory spaces with capacity
+  enforcement.
+* :mod:`repro.hw.event_sim` — the discrete-event simulation kernel.
+* :mod:`repro.hw.bandwidth` — shared (processor-sharing) bandwidth channels.
+* :mod:`repro.hw.dma` — DMA descriptors, timing model and engine.
+* :mod:`repro.hw.cluster` — cluster assemblies for functional and timed runs.
+"""
+
+from .bandwidth import LocalChannel, SharedChannel
+from .cluster import ClusterSim, ClusterSpaces, CoreSim
+from .config import (
+    ClusterConfig,
+    CpuConfig,
+    DmaConfig,
+    DspCoreConfig,
+    FT_M7032,
+    LatencyConfig,
+    MachineConfig,
+    default_machine,
+)
+from .dma import DmaDescriptor, DmaEngine, DmaTimingModel
+from .event_sim import AllOf, Event, Process, Resource, Simulator, Timeout
+from .memory import Buffer, MemKind, MemorySpace
+
+__all__ = [
+    "AllOf",
+    "Buffer",
+    "ClusterConfig",
+    "ClusterSim",
+    "ClusterSpaces",
+    "CoreSim",
+    "CpuConfig",
+    "DmaConfig",
+    "DmaDescriptor",
+    "DmaEngine",
+    "DmaTimingModel",
+    "DspCoreConfig",
+    "Event",
+    "FT_M7032",
+    "LatencyConfig",
+    "LocalChannel",
+    "MachineConfig",
+    "MemKind",
+    "MemorySpace",
+    "Process",
+    "Resource",
+    "SharedChannel",
+    "Simulator",
+    "Timeout",
+    "default_machine",
+]

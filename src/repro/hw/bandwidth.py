@@ -1,0 +1,219 @@
+"""Shared-bandwidth channels with processor-sharing semantics.
+
+The 42.6 GB/s DDR port of a GPDSP cluster is shared by the DMA engines of
+all eight cores; when several cores stream A-panels concurrently, each sees
+a fraction of the port.  This contention is the mechanism behind two of the
+paper's observations: multi-core ftIMM saturating well below the roofline,
+and the poor scaling of memory-bound shapes in Fig. 6.
+
+:class:`SharedChannel` models the port as a fluid processor-sharing server:
+``n`` concurrent transfers each progress at ``bandwidth / n``.  The DES
+implementation is exact (no time-stepping): on every arrival/departure the
+channel advances all flows by the elapsed time at the old rate and
+reschedules the next completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from .event_sim import Event, Simulator
+
+_EPS_BYTES = 1e-6
+
+
+@dataclass
+class _Flow:
+    remaining: float
+    done: Event
+    tag: str = ""
+
+
+@dataclass
+class ChannelStats:
+    """Aggregate statistics, for tests and bandwidth-utilization reports."""
+
+    bytes_served: float = 0.0
+    flows_completed: int = 0
+    busy_time: float = 0.0
+    weighted_concurrency: float = 0.0  # integral of n_active dt
+
+    def mean_concurrency(self) -> float:
+        return self.weighted_concurrency / self.busy_time if self.busy_time else 0.0
+
+
+class SharedChannel:
+    """A fluid-flow processor-sharing bandwidth server.
+
+    ``per_flow_cap`` bounds the rate any single flow can draw — modeling a
+    DMA channel's own sustainable bandwidth: one engine cannot saturate the
+    whole DDR port, which is what makes multi-core GEMM scale at all on
+    memory-bound shapes (Fig. 6).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float,
+        name: str = "",
+        per_flow_cap: float | None = None,
+        record_timeline: bool = False,
+    ) -> None:
+        if bandwidth <= 0:
+            raise SimulationError(f"channel {name!r}: bandwidth must be > 0")
+        if per_flow_cap is not None and per_flow_cap <= 0:
+            raise SimulationError(f"channel {name!r}: cap must be > 0")
+        self.sim = sim
+        self.bandwidth = float(bandwidth)
+        self.per_flow_cap = float(per_flow_cap) if per_flow_cap else None
+        self.name = name
+        self.stats = ChannelStats()
+        self._flows: list[_Flow] = []
+        self._last_t = sim.now
+        self._epoch = 0
+        #: optional (time, aggregate_rate_bytes_per_s) step samples; one
+        #: entry per membership change when enabled
+        self.timeline: list[tuple[float, float]] | None = (
+            [] if record_timeline else None
+        )
+
+    def _aggregate_rate(self) -> float:
+        n = len(self._flows)
+        if n == 0:
+            return 0.0
+        per_flow = self.bandwidth / n
+        if self.per_flow_cap is not None:
+            per_flow = min(per_flow, self.per_flow_cap)
+        return per_flow * n
+
+    def _record(self) -> None:
+        if self.timeline is not None:
+            self.timeline.append((self.sim.now, self._aggregate_rate()))
+
+    # -- public API --------------------------------------------------------
+
+    def transfer(self, nbytes: float, tag: str = "") -> Event:
+        """Start a transfer of ``nbytes``; returns its completion event."""
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size {nbytes}")
+        done = Event(self.sim, name=f"xfer:{self.name}:{tag}")
+        if nbytes == 0:
+            self.sim._schedule_at(self.sim.now, done, None)
+            return done
+        self._advance()
+        self._flows.append(_Flow(float(nbytes), done, tag))
+        self._record()
+        self._reschedule()
+        return done
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def current_rate(self) -> float:
+        """Per-flow bandwidth right now (full bandwidth when idle)."""
+        n = max(1, len(self._flows))
+        rate = self.bandwidth / n
+        if self.per_flow_cap is not None:
+            rate = min(rate, self.per_flow_cap)
+        return rate
+
+    # -- internals ---------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Apply progress accumulated since the last state change."""
+        now = self.sim.now
+        dt = now - self._last_t
+        self._last_t = now
+        if dt <= 0 or not self._flows:
+            return
+        n = len(self._flows)
+        rate = self.bandwidth / n
+        if self.per_flow_cap is not None:
+            rate = min(rate, self.per_flow_cap)
+        served = dt * rate
+        self.stats.busy_time += dt
+        self.stats.weighted_concurrency += n * dt
+        finished: list[_Flow] = []
+        for flow in self._flows:
+            flow.remaining -= served
+            self.stats.bytes_served += min(served, served + flow.remaining)
+            if flow.remaining <= _EPS_BYTES:
+                finished.append(flow)
+        for flow in finished:
+            self._flows.remove(flow)
+            self.stats.flows_completed += 1
+            flow.done.succeed(None)
+        if finished:
+            self._record()
+
+    def _reschedule(self) -> None:
+        """Schedule a wake-up at the earliest projected completion."""
+        self._epoch += 1
+        if not self._flows:
+            return
+        epoch = self._epoch
+        n = len(self._flows)
+        rate = self.bandwidth / n
+        if self.per_flow_cap is not None:
+            rate = min(rate, self.per_flow_cap)
+        min_remaining = min(f.remaining for f in self._flows)
+        delay = min_remaining / rate
+        wake = Event(self.sim, name=f"wake:{self.name}")
+        wake.wait(lambda _ev: self._on_wake(epoch))
+        self.sim._schedule_at(self.sim.now + delay, wake, None)
+
+    def _on_wake(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # stale wake-up: membership changed since it was armed
+        self._advance()
+        self._reschedule()
+
+
+class LocalChannel:
+    """Uncontended fixed-bandwidth link (per-core SM/AM side of a DMA).
+
+    Transfers each take ``nbytes / bandwidth`` independent of concurrency;
+    serialization, when it matters, is enforced by the DMA engine's channel
+    Resource, not by the link.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth: float, name: str = "") -> None:
+        if bandwidth <= 0:
+            raise SimulationError(f"channel {name!r}: bandwidth must be > 0")
+        self.sim = sim
+        self.bandwidth = float(bandwidth)
+        self.name = name
+        self.stats = ChannelStats()
+
+    def transfer(self, nbytes: float, tag: str = "") -> Event:
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size {nbytes}")
+        self.stats.bytes_served += nbytes
+        self.stats.flows_completed += 1
+        delay = nbytes / self.bandwidth
+        self.stats.busy_time += delay
+        self.stats.weighted_concurrency += delay
+        return self.sim.timeout(delay)
+
+    @property
+    def active_flows(self) -> int:  # parity with SharedChannel
+        return 0
+
+    def current_rate(self) -> float:
+        return self.bandwidth
+
+
+def mean_utilization(
+    timeline: list[tuple[float, float]], bandwidth: float, until: float
+) -> float:
+    """Time-averaged fraction of ``bandwidth`` drawn, from step samples."""
+    if not timeline or until <= 0:
+        return 0.0
+    total = 0.0
+    for (t0, rate), (t1, _r) in zip(timeline, timeline[1:]):
+        total += rate * (t1 - t0)
+    last_t, last_rate = timeline[-1]
+    total += last_rate * max(0.0, until - last_t)
+    return total / (bandwidth * until)

@@ -1,0 +1,279 @@
+"""Machine configuration for the FT-m7032 heterogeneous processor model.
+
+The FT-m7032 (Section II of the paper) integrates one 16-core ARMv8 CPU and
+four GPDSP clusters.  Each cluster has eight VLIW DSP cores sharing a 6 MB
+on-chip Global Shared Memory (GSM) and a 42.6 GB/s DDR port.  Each DSP core
+contains a scalar unit (SPU, with 64 KB Scalar Memory), a vector unit (VPU,
+with 768 KB Array Memory, 16 VPEs x 3 FMAC units, SIMD width 32 for FP32)
+and a DMA engine.
+
+Numbers printed in the paper are used verbatim.  Numbers the paper does not
+print (instruction latencies, DMA startup cost, GSM bandwidth, DDR burst
+granularity) are explicit assumptions, documented on each field; they were
+chosen so the auto-generated micro-kernels land near the paper's reported
+peak efficiencies.
+
+All configs are frozen dataclasses: a config is a value, never mutated.
+Use :func:`dataclasses.replace` to derive variants (e.g. a 4-core cluster
+for the scalability experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigError
+
+KIB = 1024
+MIB = 1024 * 1024
+GB = 1e9  # bandwidth units are decimal GB, as in the paper's 42.6 GB/s
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Instruction latencies, in cycles.
+
+    The paper names ``t_fma``, ``t_VLDW`` and ``t_SBR`` (Table I) without
+    printing values; these are assumptions calibrated against the reported
+    micro-kernel efficiencies (Fig. 3).
+    """
+
+    t_fma: int = 4      # vector fused multiply-add (VFMULAS32) result latency
+    t_vldw: int = 3     # vector load (VLDW / VLDDW) result latency
+    t_sbr: int = 2      # branch (SBR) resolution latency
+    t_sld: int = 2      # scalar load (SLDH / SLDW) latency
+    t_sfext: int = 1    # scalar extend (SFEXTS32L) latency
+    t_sieu: int = 1     # fixed-point rearrange (SBALE2H) latency
+    t_bcast: int = 2    # SPU -> VPU broadcast (SVBCAST / SVBCAST2) latency
+    t_vst: int = 1      # vector store issue cost (no consumer, latency moot)
+    t_vmov: int = 1     # vector register init (VMOVI)
+    t_vadd: int = 3     # vector add (VADDS32) used in the k_u reduction
+
+    def validate(self) -> None:
+        for name, value in vars(self).items():
+            if value < 1:
+                raise ConfigError(f"latency {name} must be >= 1, got {value}")
+
+
+@dataclass(frozen=True)
+class DspCoreConfig:
+    """One DSP core of a GPDSP cluster (Fig. 2 of the paper)."""
+
+    clock_hz: float = 1.8e9
+    #: FP32 SIMD width across the 16 VPEs (paper: "the SIMD width for FP32
+    #: data type is 32").  One vector register holds this many FP32 lanes.
+    simd_lanes: int = 32
+    #: FMAC units per VPE; three vector FMA instructions can issue per cycle.
+    n_vector_fmac: int = 3
+    #: each FMAC lane performs a multiply-add: 2 FLOPs per lane per cycle.
+    flops_per_lane: int = 2
+    #: 64-bit registers per VPE; a live FP32 vector register consumes one.
+    n_vector_regs: int = 64
+    n_scalar_regs: int = 64
+    #: Array Memory (AM) — software-managed vector scratchpad.
+    am_bytes: int = 768 * KIB
+    #: Scalar Memory (SM) — software-managed scalar scratchpad.
+    sm_bytes: int = 64 * KIB
+    #: AM can deliver 512 bytes per cycle to registers (two load/store units).
+    am_bytes_per_cycle: int = 512
+    #: SPU can broadcast at most two FP32 scalars to vectors per cycle.
+    broadcast_scalars_per_cycle: int = 2
+    #: vector load/store units (VLS1, VLS2).
+    n_vector_ls: int = 2
+    #: scalar load/store units usable per cycle in the pipelines (Tables I-III
+    #: show a single "Scalar Load&Store1" row).
+    n_scalar_ls: int = 1
+    latencies: LatencyConfig = field(default_factory=LatencyConfig)
+    #: registers the generator must leave free for addresses/loop counters.
+    reserved_vector_regs: int = 4
+    #: fixed cost of invoking a micro-kernel (call, address setup, loop
+    #: priming) — an assumption, visible mainly for small k_a; calibrated
+    #: against the paper's shallow-K kernel efficiencies (Fig. 3 d-f).
+    kernel_call_overhead_cycles: int = 80
+
+    @property
+    def fma_lanes_per_cycle(self) -> int:
+        """FP32 multiply-adds retired per cycle at full FMAC occupancy."""
+        return self.n_vector_fmac * self.simd_lanes
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FP32 FLOP/s of one core (345.6 GFLOPS at 1.8 GHz)."""
+        return self.fma_lanes_per_cycle * self.flops_per_lane * self.clock_hz
+
+    @property
+    def usable_vector_regs(self) -> int:
+        return self.n_vector_regs - self.reserved_vector_regs
+
+    def validate(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigError("clock_hz must be positive")
+        if self.simd_lanes < 1 or self.n_vector_fmac < 1:
+            raise ConfigError("SIMD width and FMAC count must be >= 1")
+        if self.usable_vector_regs < 8:
+            raise ConfigError("too few usable vector registers")
+        if self.am_bytes <= 0 or self.sm_bytes <= 0:
+            raise ConfigError("scratchpad sizes must be positive")
+        self.latencies.validate()
+
+
+@dataclass(frozen=True)
+class DmaConfig:
+    """DMA engine timing model.
+
+    A transfer of ``rows`` rows of ``row_bytes`` each costs::
+
+        startup_cycles / clock  +  rows * (row_bytes + row_overhead_bytes) / bw
+
+    where ``bw`` is the (possibly contended) bandwidth of the slowest memory
+    the transfer touches.  ``row_overhead_bytes`` models DDR burst and
+    descriptor overhead per 2-D row: short rows waste bandwidth, which is why
+    measured bandwidth stays below the theoretical 42.6 GB/s (the paper cites
+    exactly this as the reason ftIMM reaches only 67% of its roofline).
+    """
+
+    startup_cycles: int = 200
+    row_overhead_bytes: int = 64
+    #: independent DMA channels per core engine (concurrent descriptors).
+    channels_per_core: int = 2
+    #: sustainable DDR draw of one DMA channel (outstanding-transaction
+    #: limit) — one engine cannot saturate the 42.6 GB/s port alone, which
+    #: is what lets multi-core runs scale on memory-bound shapes (Fig. 6).
+    #: Assumption: a quarter of the port per channel.
+    channel_bandwidth: float = 10.65e9
+    #: fraction of the theoretical DDR bandwidth sustainable by perfectly
+    #: streaming DMA (refresh, page misses, scheduling).  The paper's
+    #: roofline uses the theoretical 42.6 GB/s while noting "the actual
+    #: bandwidth cannot reach the theoretical bandwidth" — this derate is
+    #: why ftIMM tops out below its roofline (<= 67% in Fig. 5).
+    ddr_efficiency: float = 0.72
+
+    def validate(self) -> None:
+        if self.startup_cycles < 0 or self.row_overhead_bytes < 0:
+            raise ConfigError("DMA overheads must be non-negative")
+        if self.channels_per_core < 1:
+            raise ConfigError("DMA engine needs at least one channel")
+        if not 0 < self.ddr_efficiency <= 1:
+            raise ConfigError("ddr_efficiency must be in (0, 1]")
+        if self.channel_bandwidth <= 0:
+            raise ConfigError("channel_bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One GPDSP cluster: eight DSP cores + GSM + a private DDR port."""
+
+    n_cores: int = 8
+    core: DspCoreConfig = field(default_factory=DspCoreConfig)
+    gsm_bytes: int = 6 * MIB
+    #: DDR bandwidth of the cluster's main-memory port (paper: 42.6 GB/s),
+    #: shared by all cores of the cluster.
+    ddr_bandwidth: float = 42.6 * GB
+    #: aggregate GSM crossbar bandwidth (assumption: 64 B/cycle/port * 4
+    #: ports at 1.8 GHz ~= 460 GB/s; the paper only says "crossbar").
+    gsm_bandwidth: float = 460.8 * GB
+    dma: DmaConfig = field(default_factory=DmaConfig)
+    #: cycles for a full-cluster software barrier (assumption).
+    barrier_cycles: int = 400
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FP32 FLOP/s of the cluster (2764.8 GFLOPS with 8 cores)."""
+        return self.n_cores * self.core.peak_flops
+
+    def with_cores(self, n: int) -> "ClusterConfig":
+        """A copy of this cluster restricted to ``n`` cores (Fig. 6)."""
+        if not 1 <= n <= self.n_cores:
+            raise ConfigError(f"core count {n} outside 1..{self.n_cores}")
+        return replace(self, n_cores=n)
+
+    def validate(self) -> None:
+        if self.n_cores < 1:
+            raise ConfigError("cluster needs at least one core")
+        if self.gsm_bytes <= 0:
+            raise ConfigError("GSM capacity must be positive")
+        if self.ddr_bandwidth <= 0 or self.gsm_bandwidth <= 0:
+            raise ConfigError("bandwidths must be positive")
+        self.core.validate()
+        self.dma.validate()
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """The 16-core ARMv8 CPU of FT-m7032 (baseline for Fig. 7).
+
+    Peak single-precision performance is 281.6 GFLOPS (paper, Section II):
+    16 cores x 2.2 GHz x 8 FP32 FLOPs/cycle.  It shares the same 42.6 GB/s
+    main-memory bandwidth figure the paper uses for the comparison
+    ("based on the same bandwidth").
+    """
+
+    n_cores: int = 16
+    clock_hz: float = 2.2e9
+    flops_per_cycle: int = 8  # one 128-bit FMA pipe: 4 lanes x 2 FLOPs
+    ddr_bandwidth: float = 42.6 * GB
+    #: OpenBLAS-like blocked-GEMM parameters of the analytic model.
+    mr: int = 8
+    nr: int = 12
+    mc: int = 128
+    kc: int = 384
+    nc: int = 4032
+    #: sustained fraction of peak of the inner kernel on large square GEMM.
+    kernel_peak_fraction: float = 0.92
+    l2_bytes: int = 512 * KIB
+    #: K extent at which the inner kernel reaches half its sustained rate
+    #: (loop setup, edge handling, packing-amortization — assumption).
+    k_half: int = 64
+    #: achieved streaming bandwidth per CPU core under OpenBLAS's access
+    #: patterns, and the aggregate ceiling.  The FT-m7032 CPU is a cut-down
+    #: management processor; these values are calibrated so the OpenBLAS
+    #: baseline lands in the 5-30 GFLOPS range published for irregular
+    #: SGEMM on Phytium CPUs (LibShalom, SC'21) and reproduces the paper's
+    #: <= 3.1x efficiency deficit vs ftIMM (Fig. 7).
+    stream_bw_per_core: float = 1.5e9
+    stream_bw_cap: float = 2.4e9
+    #: extra main-memory round trips caused by packing A and B panels.
+    pack_round_trips: float = 1.0
+    #: fork/join cost of one threaded panel region.
+    fork_join_seconds: float = 12e-6
+    #: minimum rows of an M-split chunk for OpenBLAS to give it a thread.
+    thread_rows_min: int = 16
+
+    @property
+    def peak_flops(self) -> float:
+        return self.n_cores * self.clock_hz * self.flops_per_cycle
+
+    def validate(self) -> None:
+        if self.n_cores < 1 or self.clock_hz <= 0:
+            raise ConfigError("CPU config invalid")
+        if not 0 < self.kernel_peak_fraction <= 1:
+            raise ConfigError("kernel_peak_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Top-level FT-m7032 model: one GPDSP cluster + the multi-core CPU.
+
+    The paper's experiments use a single GPDSP cluster, so the machine model
+    exposes one; the full chip has four identical clusters.
+    """
+
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    n_clusters: int = 4
+
+    def validate(self) -> "MachineConfig":
+        self.cluster.validate()
+        self.cpu.validate()
+        if self.n_clusters < 1:
+            raise ConfigError("n_clusters must be >= 1")
+        return self
+
+
+#: The reference machine all experiments run on.
+FT_M7032 = MachineConfig().validate()
+
+
+def default_machine() -> MachineConfig:
+    """Return the validated FT-m7032 reference configuration."""
+    return FT_M7032

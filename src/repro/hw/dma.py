@@ -1,0 +1,135 @@
+"""DMA engine model: 2-D strided descriptors and their timing.
+
+Each DSP core owns a DMA engine used to move tiles between DDR, GSM, SM and
+AM (Fig. 2).  A descriptor describes a 2-D transfer: ``rows`` rows of
+``row_bytes`` contiguous bytes each (strides exist in the real hardware but
+only the row geometry affects timing, via per-row burst overhead).
+
+Timing of one descriptor::
+
+    startup  +  effective_bytes / bandwidth(medium, contention)
+
+* ``startup`` — engine programming + first-burst latency
+  (``DmaConfig.startup_cycles``).
+* ``effective_bytes`` — ``rows * (row_bytes + row_overhead)`` when the
+  transfer touches DDR: short rows waste DDR bursts.  On-chip media move
+  exactly ``rows * row_bytes``.
+* the *medium* is the slowest memory touched: DDR if either endpoint is
+  DDR, else GSM if either endpoint is GSM, else the core-local link.
+
+The per-row overhead is what makes measured DDR bandwidth fall short of the
+theoretical 42.6 GB/s for skinny tiles — the effect the paper invokes to
+explain ftIMM reaching only ~67% of its roofline (Section V-C1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import PlanError
+from .bandwidth import LocalChannel, SharedChannel
+from .config import DmaConfig, DspCoreConfig
+from .event_sim import Event, Resource, Simulator
+from .memory import MemKind
+
+Channel = Union[SharedChannel, LocalChannel]
+
+
+@dataclass(frozen=True)
+class DmaDescriptor:
+    """One 2-D DMA transfer: ``rows`` rows of ``row_bytes`` each."""
+
+    src: MemKind
+    dst: MemKind
+    rows: int
+    row_bytes: int
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rows < 0 or self.row_bytes < 0:
+            raise PlanError(f"negative DMA geometry in {self}")
+
+    @property
+    def nbytes(self) -> int:
+        return self.rows * self.row_bytes
+
+    @property
+    def medium(self) -> MemKind:
+        """The slowest memory level this transfer touches."""
+        kinds = {self.src, self.dst}
+        if MemKind.DDR in kinds:
+            return MemKind.DDR
+        if MemKind.GSM in kinds:
+            return MemKind.GSM
+        return MemKind.AM
+
+    def effective_bytes(self, cfg: DmaConfig) -> int:
+        if self.medium is MemKind.DDR:
+            return self.rows * (self.row_bytes + cfg.row_overhead_bytes)
+        return self.nbytes
+
+
+class DmaTimingModel:
+    """Pure (simulator-free) timing of a descriptor at a known bandwidth.
+
+    Used by the analytic executor, which composes closed-form loop times
+    instead of simulating each transfer.
+    """
+
+    def __init__(self, core: DspCoreConfig, dma: DmaConfig) -> None:
+        self.core = core
+        self.dma = dma
+        self.startup_s = dma.startup_cycles / core.clock_hz
+        self.local_bandwidth = core.am_bytes_per_cycle * core.clock_hz
+
+    def seconds(self, desc: DmaDescriptor, bandwidth: float) -> float:
+        """Duration at a fixed ``bandwidth`` for the shared medium."""
+        if desc.medium is MemKind.AM:
+            bandwidth = self.local_bandwidth
+        if desc.nbytes == 0:
+            return 0.0
+        return self.startup_s + desc.effective_bytes(self.dma) / bandwidth
+
+
+class DmaEngine:
+    """The per-core DMA engine, for discrete-event execution.
+
+    ``channels_per_core`` descriptors may be in flight concurrently; further
+    requests queue FIFO at the engine.  The data movement itself is charged
+    to the medium's bandwidth channel (shared for DDR/GSM).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core_id: int,
+        core_cfg: DspCoreConfig,
+        dma_cfg: DmaConfig,
+        channels: dict[MemKind, Channel],
+    ) -> None:
+        self.sim = sim
+        self.core_id = core_id
+        self.cfg = dma_cfg
+        self.core_cfg = core_cfg
+        self.channels = channels
+        self.slots = Resource(sim, dma_cfg.channels_per_core, name=f"dma{core_id}")
+        self.startup_s = dma_cfg.startup_cycles / core_cfg.clock_hz
+        self.bytes_moved = 0
+        self.transfers = 0
+
+    def issue(self, desc: DmaDescriptor) -> Event:
+        """Start a transfer; returns the event that fires at completion."""
+        return self.sim.process(self._run(desc), name=f"dma{self.core_id}:{desc.tag}")
+
+    def _run(self, desc: DmaDescriptor):
+        yield self.slots.request()
+        try:
+            if desc.nbytes > 0:
+                yield self.sim.timeout(self.startup_s)
+                channel = self.channels[desc.medium]
+                yield channel.transfer(desc.effective_bytes(self.cfg), tag=desc.tag)
+                self.bytes_moved += desc.nbytes
+            self.transfers += 1
+        finally:
+            self.slots.release()

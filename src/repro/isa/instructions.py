@@ -1,0 +1,180 @@
+"""The symbolic instruction set used by generated micro-kernels.
+
+Only the instructions appearing in the paper's pipeline tables (plus a
+handful the algorithms imply: vector stores, adds for the k_u reduction,
+register init) are modeled.  Each opcode carries:
+
+* its :class:`~repro.isa.units.UnitClass` (which issue slot it occupies),
+* the name of its latency field in :class:`~repro.hw.config.LatencyConfig`,
+* lane/operand shape information used by the interpreter.
+
+Memory operands are affine in the software-pipelined loop counter, so one
+:class:`Instr` in a loop body describes the access of *every* iteration:
+``addr(iter) = base + iter * step`` per axis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import IsaError
+from .units import UnitClass
+
+
+class Opcode(enum.Enum):
+    SLDH = "SLDH"            # load one FP32 from SM into a scalar register
+    SLDW = "SLDW"            # load an aligned FP32 pair (64-bit) from SM
+    SLDD = "SLDD"            # load one FP64 (64-bit) from SM
+    SFEXTS32L = "SFEXTS32L"  # extract/extend the low FP32 of a pair
+    SBALE2H = "SBALE2H"      # rearrange/extract the high FP32 of a pair
+    SVBCAST = "SVBCAST"      # broadcast 1 scalar into a vector register
+    SVBCAST2 = "SVBCAST2"    # broadcast 2 scalars into 2 vector registers
+    VLDW = "VLDW"            # load 1 vector register (32 FP32) from AM
+    VLDDW = "VLDDW"          # load 2 consecutive vector registers from AM
+    VSTW = "VSTW"            # store 1 vector register to AM
+    VSTDW = "VSTDW"          # store 2 consecutive vector registers to AM
+    VFMULAS32 = "VFMULAS32"  # vector FMA: vc += va * vb
+    VADDS32 = "VADDS32"      # vector add: vd = va + vb (k_u reduction)
+    VMOVI = "VMOVI"          # vector register init to an immediate
+    SBR = "SBR"              # loop-closing branch
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    unit: UnitClass
+    latency_field: str
+    n_dst: int
+    n_src: int
+    is_load: bool = False
+    is_store: bool = False
+    mem_lanes: int = 0  # FP32 elements touched per instruction
+
+
+OP_TABLE: dict[Opcode, OpSpec] = {
+    Opcode.SLDH: OpSpec(UnitClass.SLS, "t_sld", 1, 0, is_load=True, mem_lanes=1),
+    Opcode.SLDW: OpSpec(UnitClass.SLS, "t_sld", 1, 0, is_load=True, mem_lanes=2),
+    Opcode.SLDD: OpSpec(UnitClass.SLS, "t_sld", 1, 0, is_load=True, mem_lanes=1),
+    Opcode.SFEXTS32L: OpSpec(UnitClass.SFMAC1, "t_sfext", 1, 1),
+    Opcode.SBALE2H: OpSpec(UnitClass.SIEU, "t_sieu", 1, 1),
+    Opcode.SVBCAST: OpSpec(UnitClass.SFMAC2, "t_bcast", 1, 1),
+    Opcode.SVBCAST2: OpSpec(UnitClass.SFMAC2, "t_bcast", 2, 2),
+    Opcode.VLDW: OpSpec(UnitClass.VLS, "t_vldw", 1, 0, is_load=True, mem_lanes=32),
+    Opcode.VLDDW: OpSpec(UnitClass.VLS, "t_vldw", 2, 0, is_load=True, mem_lanes=64),
+    Opcode.VSTW: OpSpec(UnitClass.VLS, "t_vst", 0, 1, is_store=True, mem_lanes=32),
+    Opcode.VSTDW: OpSpec(UnitClass.VLS, "t_vst", 0, 2, is_store=True, mem_lanes=64),
+    Opcode.VFMULAS32: OpSpec(UnitClass.VFMAC, "t_fma", 1, 3),  # reads vc, va, vb
+    Opcode.VADDS32: OpSpec(UnitClass.VFMAC, "t_vadd", 1, 2),
+    Opcode.VMOVI: OpSpec(UnitClass.VSHF, "t_vmov", 1, 0),
+    Opcode.SBR: OpSpec(UnitClass.CTRL, "t_sbr", 0, 0),
+}
+
+
+@dataclass(frozen=True)
+class Affine:
+    """``value(iter) = base + iter * step`` — a loop-affine index."""
+
+    base: int
+    step: int = 0
+
+    def at(self, iteration: int) -> int:
+        return self.base + iteration * self.step
+
+    def __repr__(self) -> str:
+        return f"{self.base}" if self.step == 0 else f"{self.base}+{self.step}*i"
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A reference into a named 2-D tile (``A``, ``B`` or ``C``).
+
+    ``row``/``col`` give the FP32 element coordinates of the first lane;
+    the instruction's ``mem_lanes`` consecutive elements of that row are
+    touched.
+    """
+
+    array: str
+    row: Affine
+    col: Affine
+
+    def at(self, iteration: int) -> tuple[int, int]:
+        return self.row.at(iteration), self.col.at(iteration)
+
+    def __repr__(self) -> str:
+        return f"{self.array}[{self.row}][{self.col}]"
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One instruction: opcode, destination/source registers, memory ref.
+
+    Register names are strings (``r3``, ``v17``); the generator owns the
+    naming.  ``imm`` is used by VMOVI.  ``tag`` is a human label surfaced
+    in rendered assembly and pipeline tables.
+    """
+
+    op: Opcode
+    dsts: tuple[str, ...] = ()
+    srcs: tuple[str, ...] = ()
+    mem: MemRef | None = None
+    imm: float = 0.0
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        spec = OP_TABLE[self.op]
+        if len(self.dsts) != spec.n_dst:
+            raise IsaError(
+                f"{self.op.value} expects {spec.n_dst} dsts, got {self.dsts}"
+            )
+        if len(self.srcs) != spec.n_src:
+            raise IsaError(
+                f"{self.op.value} expects {spec.n_src} srcs, got {self.srcs}"
+            )
+        if (spec.is_load or spec.is_store) and self.mem is None:
+            raise IsaError(f"{self.op.value} requires a memory operand")
+        if not (spec.is_load or spec.is_store) and self.mem is not None:
+            raise IsaError(f"{self.op.value} takes no memory operand")
+
+    @property
+    def spec(self) -> OpSpec:
+        return OP_TABLE[self.op]
+
+    @property
+    def unit(self) -> UnitClass:
+        return self.spec.unit
+
+    def latency(self, latencies) -> int:
+        return getattr(latencies, self.spec.latency_field)
+
+    @property
+    def reads(self) -> tuple[str, ...]:
+        """Registers read: sources, plus the accumulator for FMA."""
+        return self.srcs
+
+    @property
+    def writes(self) -> tuple[str, ...]:
+        return self.dsts
+
+    def render(self) -> str:
+        """Assembly-ish text form."""
+        parts = [self.op.value]
+        ops: list[str] = list(self.dsts)
+        ops.extend(self.srcs[len(self.dsts) if self.op is Opcode.VFMULAS32 else 0:])
+        if self.op is Opcode.VFMULAS32:
+            # conventional FMA rendering: dst, src_a, src_b (dst also read)
+            ops = [self.dsts[0], self.srcs[1], self.srcs[2]]
+        if self.op is Opcode.VMOVI:
+            ops.append(f"#{self.imm:g}")
+        if self.mem is not None:
+            ops.append(repr(self.mem))
+        if ops:
+            parts.append(", ".join(ops))
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"<{self.render()}>"
+
+
+def fma(vc: str, va: str, vb: str, tag: str = "") -> Instr:
+    """``vc += va * vb`` — the accumulator is both read and written."""
+    return Instr(Opcode.VFMULAS32, dsts=(vc,), srcs=(vc, va, vb), tag=tag)

@@ -1,0 +1,165 @@
+"""Functional interpreter for generated micro-kernel programs.
+
+Executes the symbolic instruction stream on a register-machine model
+(scalar registers, vector registers, named 2-D tiles).  This is how the
+reproduction *proves* the auto-generated "assembly" is correct: tests run
+the generated program here and compare against ``A @ B``.
+
+Vector width follows the tile dtype: a vector register holds 32 FP32
+lanes (one 64-bit register per VPE, two lanes each) or 16 FP64 lanes.
+All arithmetic is done in the tile dtype.
+
+Sequential execution in program order is semantically equivalent to the
+scheduled VLIW execution because the schedule preserves all dependences
+(verified separately by :func:`repro.isa.scheduler.verify_schedule`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import IsaError
+from .instructions import Instr, Opcode
+from .program import KernelProgram, LoopProgram
+
+LANES = 32          # FP32 lanes per vector register
+LANES_F64 = 16      # FP64 lanes per vector register
+
+
+class MachineState:
+    """Register files + named tiles for interpretation."""
+
+    def __init__(self, arrays: dict[str, np.ndarray]) -> None:
+        dtypes = set()
+        for name, arr in arrays.items():
+            if arr.ndim != 2:
+                raise IsaError(f"tile {name!r} must be 2-D, got {arr.shape}")
+            if arr.dtype not in (np.float32, np.float64):
+                raise IsaError(
+                    f"tile {name!r} must be float32/float64, got {arr.dtype}"
+                )
+            dtypes.add(arr.dtype)
+        if len(dtypes) > 1:
+            raise IsaError(f"mixed tile dtypes: {sorted(map(str, dtypes))}")
+        self.arrays = arrays
+        self.dtype = np.dtype(next(iter(dtypes))) if dtypes else np.dtype(np.float32)
+        #: lanes per vector register for this dtype (64-bit VPE registers)
+        self.vlanes = LANES if self.dtype == np.float32 else LANES_F64
+        self.sregs: dict[str, np.ndarray] = {}
+        self.vregs: dict[str, np.ndarray] = {}
+        self.instructions_retired = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _tile(self, name: str) -> np.ndarray:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise IsaError(f"unknown tile {name!r}") from None
+
+    def _load_row(self, instr: Instr, iteration: int, lanes: int) -> np.ndarray:
+        assert instr.mem is not None
+        row, col = instr.mem.at(iteration)
+        tile = self._tile(instr.mem.array)
+        if not (0 <= row < tile.shape[0] and 0 <= col and col + lanes <= tile.shape[1]):
+            raise IsaError(
+                f"{instr!r} iteration {iteration}: access "
+                f"[{row}, {col}:{col + lanes}] outside tile "
+                f"{instr.mem.array}{tile.shape}"
+            )
+        return tile[row, col : col + lanes]
+
+    def _sreg_scalar(self, name: str) -> np.float32:
+        value = self.sregs.get(name)
+        if value is None:
+            raise IsaError(f"read of undefined scalar register {name}")
+        if isinstance(value, np.ndarray):
+            raise IsaError(f"register {name} holds a pair, expected a scalar")
+        return value
+
+    def _vreg(self, name: str) -> np.ndarray:
+        value = self.vregs.get(name)
+        if value is None:
+            raise IsaError(f"read of undefined vector register {name}")
+        return value
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, instr: Instr, iteration: int = 0) -> None:
+        op = instr.op
+        lanes = self.vlanes
+        if op is Opcode.SLDH or op is Opcode.SLDD:
+            self.sregs[instr.dsts[0]] = self._load_row(instr, iteration, 1)[0]
+        elif op is Opcode.SLDW:
+            self.sregs[instr.dsts[0]] = self._load_row(instr, iteration, 2).copy()
+        elif op is Opcode.SFEXTS32L:
+            value = self.sregs.get(instr.srcs[0])
+            if value is None:
+                raise IsaError(f"read of undefined register {instr.srcs[0]}")
+            self.sregs[instr.dsts[0]] = (
+                value[0] if isinstance(value, np.ndarray) else value
+            )
+        elif op is Opcode.SBALE2H:
+            value = self.sregs.get(instr.srcs[0])
+            if not isinstance(value, np.ndarray) or value.shape != (2,):
+                raise IsaError(f"SBALE2H needs a pair register, got {value!r}")
+            self.sregs[instr.dsts[0]] = value[1]
+        elif op is Opcode.SVBCAST:
+            scalar = self._sreg_scalar(instr.srcs[0])
+            self.vregs[instr.dsts[0]] = np.full(lanes, scalar, dtype=self.dtype)
+        elif op is Opcode.SVBCAST2:
+            for dst, src in zip(instr.dsts, instr.srcs):
+                scalar = self._sreg_scalar(src)
+                self.vregs[dst] = np.full(lanes, scalar, dtype=self.dtype)
+        elif op is Opcode.VLDW:
+            self.vregs[instr.dsts[0]] = self._load_row(instr, iteration, lanes).copy()
+        elif op is Opcode.VLDDW:
+            data = self._load_row(instr, iteration, 2 * lanes)
+            self.vregs[instr.dsts[0]] = data[:lanes].copy()
+            self.vregs[instr.dsts[1]] = data[lanes:].copy()
+        elif op is Opcode.VSTW:
+            dst = self._load_row(instr, iteration, lanes)
+            dst[:] = self._vreg(instr.srcs[0])
+        elif op is Opcode.VSTDW:
+            dst = self._load_row(instr, iteration, 2 * lanes)
+            dst[:lanes] = self._vreg(instr.srcs[0])
+            dst[lanes:] = self._vreg(instr.srcs[1])
+        elif op is Opcode.VFMULAS32:
+            acc, va, vb = (self._vreg(r) for r in instr.srcs)
+            self.vregs[instr.dsts[0]] = (acc + va * vb).astype(self.dtype)
+        elif op is Opcode.VADDS32:
+            va, vb = (self._vreg(r) for r in instr.srcs)
+            self.vregs[instr.dsts[0]] = (va + vb).astype(self.dtype)
+        elif op is Opcode.VMOVI:
+            self.vregs[instr.dsts[0]] = np.full(
+                lanes, instr.imm, dtype=self.dtype
+            )
+        elif op is Opcode.SBR:
+            pass  # control flow is implicit in the block structure
+        else:  # pragma: no cover - all opcodes handled above
+            raise IsaError(f"unimplemented opcode {op}")
+        self.instructions_retired += 1
+
+
+def run_block(block: LoopProgram, state: MachineState) -> None:
+    """Execute one row-group block: setup, trip x body, teardown."""
+    for instr in block.setup:
+        state.execute(instr, 0)
+    for iteration in range(block.trip):
+        for instr in block.body:
+            state.execute(instr, iteration)
+    for instr in block.teardown:
+        state.execute(instr, 0)
+
+
+def run_program(program: KernelProgram, arrays: dict[str, np.ndarray]) -> MachineState:
+    """Execute a complete micro-kernel program against named tiles.
+
+    ``arrays`` must contain the (padded) tiles the program references,
+    conventionally ``A`` (m_s x k_eff), ``B`` (k_eff x padded n) and ``C``
+    (m_s x padded n).  C is updated in place (accumulation semantics).
+    """
+    state = MachineState(arrays)
+    for block in program.blocks:
+        run_block(block, state)
+    return state

@@ -1,0 +1,314 @@
+"""Resource- and recurrence-constrained instruction scheduling.
+
+Two schedulers:
+
+* :func:`schedule_loop` — iterative modulo scheduling (software pipelining)
+  of a kernel loop body.  This is the machine analogue of what the paper's
+  authors do by hand in Tables I–III: pack the body's instructions into the
+  core's 11 issue slots so that one iteration starts every II cycles, while
+  respecting functional-unit counts, instruction latencies and loop-carried
+  dependences (most importantly the FMAC-latency recurrence of the C
+  accumulators).  The achieved II directly determines micro-kernel
+  efficiency: ``useful FMA issues / (3 * II)``.
+
+* :func:`schedule_straightline` — resource-constrained list scheduling of
+  the acyclic setup/teardown code (C init, k_u reduction, C update).
+
+Both produce a :class:`Schedule` whose legality can be re-checked with
+:func:`verify_schedule`, which the property tests exercise.
+
+The modulo scheduler follows Rau's iterative scheme: try II starting from
+``max(ResMII, RecMII)``; place operations highest-priority-first at their
+earliest legal slot within a window of II cycles; on conflict, displace
+already-placed successors (bounded by a budget) and retry; failing that,
+increase II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ScheduleError
+from .instructions import Instr
+from .program import DepEdge, build_dependences, recurrence_mii
+from .units import DEFAULT_UNITS, UnitClass, UnitFile
+
+
+@dataclass
+class Schedule:
+    """A legal schedule of ``instrs``.
+
+    ``times[i]`` is the issue cycle of instruction ``i`` (iteration 0 for
+    loops).  ``assignments[i]`` is the (unit class, instance) it occupies.
+    For loops, the same pattern repeats every ``ii`` cycles.
+    """
+
+    instrs: list[Instr]
+    times: list[int]
+    assignments: list[tuple[UnitClass, int]]
+    ii: int                 # initiation interval; 0 for straight-line code
+    edges: list[DepEdge]
+    units: UnitFile
+
+    @property
+    def is_loop(self) -> bool:
+        return self.ii > 0
+
+    @property
+    def span(self) -> int:
+        """Issue-cycle span of one iteration (schedule length)."""
+        return max(self.times) + 1 if self.times else 0
+
+    def completion_span(self, latencies) -> int:
+        """Cycles from first issue until the last result is available."""
+        if not self.times:
+            return 0
+        return max(
+            t + instr.latency(latencies)
+            for t, instr in zip(self.times, self.instrs)
+        )
+
+    def total_cycles(self, trip: int, latencies) -> int:
+        """Total cycles to run ``trip`` iterations (1 for straight-line)."""
+        if not self.times:
+            return 0
+        if not self.is_loop or trip <= 1:
+            return self.completion_span(latencies)
+        return (trip - 1) * self.ii + self.completion_span(latencies)
+
+    @property
+    def stages(self) -> int:
+        """Number of pipeline stages (loops only)."""
+        if not self.is_loop or not self.times:
+            return 0
+        return -(-self.span // self.ii)
+
+
+def resource_mii(instrs: list[Instr], units: UnitFile) -> int:
+    """Lower bound on II from functional-unit counts."""
+    usage: dict[UnitClass, int] = {}
+    for instr in instrs:
+        usage[instr.unit] = usage.get(instr.unit, 0) + 1
+    mii = 1
+    for cls, count in usage.items():
+        mii = max(mii, -(-count // units.count(cls)))
+    return mii
+
+
+def _priorities(instrs: list[Instr], edges: list[DepEdge], latencies) -> list[int]:
+    """Height-based priority: longest latency path to any sink (dist-0)."""
+    n = len(instrs)
+    succ: dict[int, list[tuple[int, int]]] = {i: [] for i in range(n)}
+    indeg_rev = [0] * n
+    for e in edges:
+        if e.distance == 0:
+            succ[e.src].append((e.dst, e.latency))
+    height = [instr.latency(latencies) for instr in instrs]
+    # instructions are in program order, dist-0 edges point forward:
+    for i in range(n - 1, -1, -1):
+        for j, lat in succ[i]:
+            height[i] = max(height[i], lat + height[j])
+    return height
+
+
+class _ReservationTable:
+    """Tracks (unit class, instance, slot) occupancy, modulo II for loops."""
+
+    def __init__(self, units: UnitFile, ii: int) -> None:
+        self.units = units
+        self.ii = ii  # 0 => straight-line (slots are absolute cycles)
+        self._occ: dict[tuple[UnitClass, int, int], int] = {}
+
+    def _slot(self, t: int) -> int:
+        return t % self.ii if self.ii else t
+
+    def find_instance(self, cls: UnitClass, t: int) -> int | None:
+        slot = self._slot(t)
+        for inst in range(self.units.count(cls)):
+            if (cls, inst, slot) not in self._occ:
+                return inst
+        return None
+
+    def place(self, cls: UnitClass, inst: int, t: int, idx: int) -> None:
+        self._occ[(cls, inst, self._slot(t))] = idx
+
+    def remove(self, cls: UnitClass, inst: int, t: int) -> None:
+        del self._occ[(cls, inst, self._slot(t))]
+
+
+def _try_modulo(
+    instrs: list[Instr],
+    edges: list[DepEdge],
+    latencies,
+    units: UnitFile,
+    ii: int,
+    budget: int,
+) -> tuple[list[int], list[tuple[UnitClass, int]]] | None:
+    n = len(instrs)
+    prio = _priorities(instrs, edges, latencies)
+    preds: dict[int, list[DepEdge]] = {i: [] for i in range(n)}
+    succs: dict[int, list[DepEdge]] = {i: [] for i in range(n)}
+    for e in edges:
+        preds[e.dst].append(e)
+        succs[e.src].append(e)
+
+    times: list[int | None] = [None] * n
+    units_of: list[tuple[UnitClass, int] | None] = [None] * n
+    table = _ReservationTable(units, ii)
+    never_scheduled_before: list[int] = [0] * n  # min retry time per op
+
+    # worklist ordered by (priority desc, program order) for determinism
+    order = sorted(range(n), key=lambda i: (-prio[i], i))
+    queue = list(order)
+
+    while queue:
+        if budget <= 0:
+            return None
+        budget -= 1
+        idx = queue.pop(0)
+        estart = never_scheduled_before[idx]
+        for e in preds[idx]:
+            tp = times[e.src]
+            if tp is not None:
+                estart = max(estart, tp + e.latency - ii * e.distance)
+        estart = max(estart, 0)
+        placed = False
+        for t in range(estart, estart + ii):
+            inst = table.find_instance(instrs[idx].unit, t)
+            if inst is not None:
+                times[idx] = t
+                units_of[idx] = (instrs[idx].unit, inst)
+                table.place(instrs[idx].unit, inst, t, idx)
+                placed = True
+                break
+        if not placed:
+            # force placement at estart, displacing the occupant
+            t = estart
+            cls = instrs[idx].unit
+            slot = t % ii
+            victim = None
+            for inst in range(units.count(cls)):
+                key = (cls, inst, slot)
+                if key in table._occ:
+                    victim = table._occ[key]
+                    table.remove(cls, inst, times[victim])  # type: ignore[arg-type]
+                    times[victim] = None
+                    units_of[victim] = None
+                    never_scheduled_before[victim] = t + 1
+                    queue.append(victim)
+                    times[idx] = t
+                    units_of[idx] = (cls, inst)
+                    table.place(cls, inst, t, idx)
+                    break
+            if victim is None:  # pragma: no cover - instance must exist
+                return None
+        # displace already-scheduled successors whose constraint now fails
+        for e in succs[idx]:
+            tj = times[e.dst]
+            if e.dst == idx or tj is None:
+                continue
+            if tj < times[idx] + e.latency - ii * e.distance:  # type: ignore[operator]
+                cls_j, inst_j = units_of[e.dst]  # type: ignore[misc]
+                table.remove(cls_j, inst_j, tj)
+                times[e.dst] = None
+                units_of[e.dst] = None
+                never_scheduled_before[e.dst] = tj + 1
+                queue.append(e.dst)
+
+    final_times = [t for t in times if t is not None]
+    if len(final_times) != n:
+        return None
+    # normalize so the earliest instruction issues at cycle 0
+    t0 = min(final_times)
+    norm = [t - t0 for t in times]  # type: ignore[operator]
+    return norm, [u for u in units_of]  # type: ignore[list-item]
+
+
+def schedule_loop(
+    body: list[Instr],
+    latencies,
+    units: UnitFile = DEFAULT_UNITS,
+    *,
+    max_ii_slack: int = 64,
+    budget_factor: int = 16,
+) -> Schedule:
+    """Software-pipeline ``body``; returns the schedule at the best found II."""
+    if not body:
+        raise ScheduleError("cannot schedule an empty loop body")
+    edges = build_dependences(body, latencies, loop=True)
+    mii = max(resource_mii(body, units), recurrence_mii(edges))
+    for ii in range(mii, mii + max_ii_slack + 1):
+        result = _try_modulo(
+            body, edges, latencies, units, ii, budget_factor * len(body)
+        )
+        if result is None:
+            continue
+        times, assignments = result
+        sched = Schedule(body, times, assignments, ii, edges, units)
+        verify_schedule(sched, latencies)
+        return sched
+    raise ScheduleError(
+        f"no schedule found for {len(body)} instructions within "
+        f"II <= {mii + max_ii_slack}"
+    )
+
+
+def schedule_straightline(
+    instrs: list[Instr],
+    latencies,
+    units: UnitFile = DEFAULT_UNITS,
+) -> Schedule:
+    """Resource-constrained list scheduling of acyclic code."""
+    if not instrs:
+        return Schedule([], [], [], 0, [], units)
+    edges = build_dependences(instrs, latencies, loop=False)
+    n = len(instrs)
+    preds: dict[int, list[DepEdge]] = {i: [] for i in range(n)}
+    for e in edges:
+        preds[e.dst].append(e)
+    table = _ReservationTable(units, 0)
+    times: list[int] = [0] * n
+    assignments: list[tuple[UnitClass, int]] = [(instrs[0].unit, 0)] * n
+    for idx in range(n):  # program order is a topological order
+        t = 0
+        for e in preds[idx]:
+            t = max(t, times[e.src] + e.latency)
+        while True:
+            inst = table.find_instance(instrs[idx].unit, t)
+            if inst is not None:
+                break
+            t += 1
+        times[idx] = t
+        assignments[idx] = (instrs[idx].unit, inst)
+        table.place(instrs[idx].unit, inst, t, idx)
+    sched = Schedule(instrs, times, assignments, 0, edges, units)
+    verify_schedule(sched, latencies)
+    return sched
+
+
+def verify_schedule(sched: Schedule, latencies) -> None:
+    """Re-check every dependence and resource constraint; raises on failure."""
+    ii = sched.ii
+    for e in sched.edges:
+        lhs = sched.times[e.dst]
+        rhs = sched.times[e.src] + e.latency - ii * e.distance
+        if lhs < rhs:
+            raise ScheduleError(
+                f"dependence violated: {e.kind} "
+                f"{sched.instrs[e.src]!r} -> {sched.instrs[e.dst]!r} "
+                f"(t={sched.times[e.src]} -> t={lhs}, need >= {rhs}, II={ii})"
+            )
+    seen: dict[tuple[UnitClass, int, int], int] = {}
+    for idx, (t, (cls, inst)) in enumerate(zip(sched.times, sched.assignments)):
+        if inst >= sched.units.count(cls):
+            raise ScheduleError(f"instance {inst} out of range for {cls}")
+        if cls is not sched.instrs[idx].unit:
+            raise ScheduleError(f"instr {idx} placed on wrong unit class")
+        slot = t % ii if ii else t
+        key = (cls, inst, slot)
+        if key in seen:
+            raise ScheduleError(
+                f"resource conflict on {cls.value}#{inst} slot {slot}: "
+                f"{sched.instrs[seen[key]]!r} vs {sched.instrs[idx]!r}"
+            )
+        seen[key] = idx

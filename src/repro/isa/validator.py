@@ -1,0 +1,128 @@
+"""Static validation of kernel programs.
+
+The interpreter catches bad programs *dynamically* — but only along the
+executed path and only when a test runs them.  This validator checks a
+:class:`~repro.isa.program.KernelProgram` *statically*:
+
+* every register is written before it is read (setup defs carry into the
+  body; body defs of iteration ``i`` may satisfy reads of iteration
+  ``i+1`` — the steady-state def set is computed as a fixpoint);
+* every memory access of every loop iteration stays inside the declared
+  tile shapes (affine addressing makes this a closed-form check: only the
+  first and last iterations need evaluating);
+* stores never target the read-only A and B tiles.
+
+The kernel generator runs this on every program it emits, so a generation
+bug surfaces at build time rather than as a wrong number downstream.
+"""
+
+from __future__ import annotations
+
+from ..errors import IsaError
+from .instructions import Instr, Opcode
+from .program import KernelProgram, LoopProgram
+
+_VECTOR_SINGLE = (Opcode.VLDW, Opcode.VSTW)
+_VECTOR_DOUBLE = (Opcode.VLDDW, Opcode.VSTDW)
+
+
+def _mem_lanes(instr: Instr, vlanes: int) -> int:
+    """Elements touched, honouring the precision's vector width."""
+    if instr.op in _VECTOR_SINGLE:
+        return vlanes
+    if instr.op in _VECTOR_DOUBLE:
+        return 2 * vlanes
+    return instr.spec.mem_lanes
+
+
+def _check_mem(
+    instr: Instr, iteration: int, tiles: dict[str, tuple[int, int]],
+    vlanes: int,
+) -> None:
+    assert instr.mem is not None
+    lanes = _mem_lanes(instr, vlanes)
+    row, col = instr.mem.at(iteration)
+    shape = tiles.get(instr.mem.array)
+    if shape is None:
+        raise IsaError(f"{instr!r}: unknown tile {instr.mem.array!r}")
+    rows, cols = shape
+    if not (0 <= row < rows and 0 <= col and col + lanes <= cols):
+        raise IsaError(
+            f"{instr!r} iteration {iteration}: access "
+            f"[{row}, {col}:{col + lanes}] outside {instr.mem.array}{shape}"
+        )
+
+
+def _validate_block(
+    block: LoopProgram,
+    tiles: dict[str, tuple[int, int]],
+    defined: set[str],
+    *,
+    vlanes: int,
+) -> set[str]:
+    """Check one block; returns the register set defined after it."""
+
+    def check_instr(instr: Instr, defs: set[str], where: str) -> None:
+        for reg in instr.reads:
+            if reg not in defs:
+                raise IsaError(
+                    f"{where}: {instr!r} reads {reg!r} before definition"
+                )
+        defs.update(instr.writes)
+
+    for instr in block.setup:
+        if instr.mem is not None:
+            _check_mem(instr, 0, tiles, vlanes)
+        check_instr(instr, defined, "setup")
+
+    # body def-use fixpoint: one symbolic pass collecting defs, then a
+    # second pass in which reads may also be satisfied by body defs
+    # (values produced by the previous iteration)
+    body_defs = set(defined)
+    for instr in block.body:
+        body_defs.update(instr.writes)
+    steady = set(body_defs)
+    for instr in block.body:
+        check_instr(instr, steady, "body")
+
+    # memory bounds: affine in the iteration index, so extremes suffice
+    for instr in block.body:
+        if instr.mem is not None:
+            for iteration in (0, max(0, block.trip - 1)):
+                _check_mem(instr, iteration, tiles, vlanes)
+            if instr.spec.is_store and instr.mem.array in ("A", "B"):
+                raise IsaError(f"{instr!r}: store to read-only tile")
+
+    after = set(defined) | {w for i in block.body for w in i.writes}
+    for instr in block.teardown:
+        if instr.mem is not None:
+            _check_mem(instr, 0, tiles, vlanes)
+            if instr.spec.is_store and instr.mem.array in ("A", "B"):
+                raise IsaError(f"{instr!r}: store to read-only tile")
+        check_instr(instr, after, "teardown")
+    return after
+
+
+def validate_program(
+    program: KernelProgram,
+    *,
+    m_s: int,
+    k_eff: int,
+    padded_n: int,
+    vlanes: int = 32,
+) -> None:
+    """Statically validate a generated micro-kernel program.
+
+    ``m_s``/``k_eff``/``padded_n`` declare the (padded) tile geometry the
+    program may touch: A is ``m_s x k_eff``, B ``k_eff x padded_n`` and C
+    ``m_s x padded_n``.  Raises :class:`~repro.errors.IsaError` on the
+    first violation.
+    """
+    tiles = {
+        "A": (m_s, k_eff),
+        "B": (k_eff, padded_n),
+        "C": (m_s, padded_n),
+    }
+    defined: set[str] = set()
+    for block in program.blocks:
+        defined = _validate_block(block, tiles, defined, vlanes=vlanes)

@@ -1,0 +1,62 @@
+"""Kernel cache.
+
+Generating a kernel involves modulo scheduling, which is the expensive part
+of a GEMM *plan* (the paper generates assembly ahead of time and selects at
+runtime).  Drivers request kernels through :class:`KernelRegistry`, which
+memoizes by specification, so sweeping M in an experiment reuses kernels
+instead of rescheduling per call.
+"""
+
+from __future__ import annotations
+
+from ..hw.config import DspCoreConfig
+from .generator import MicroKernel, generate_kernel
+from .spec import KernelSpec
+from .tgemm_kernel import generate_tgemm_kernel
+
+
+class KernelRegistry:
+    """Memoized kernel generation for one core configuration."""
+
+    def __init__(self, core: DspCoreConfig) -> None:
+        self.core = core
+        self._ftimm: dict[KernelSpec, MicroKernel] = {}
+        self._tgemm: dict[tuple[int, int, int], MicroKernel] = {}
+
+    def ftimm(
+        self, m_s: int, n_a: int, k_a: int, dtype: str = "f32"
+    ) -> MicroKernel:
+        spec = KernelSpec(m_s, n_a, k_a, dtype)
+        kernel = self._ftimm.get(spec)
+        if kernel is None:
+            kernel = generate_kernel(spec, self.core)
+            self._ftimm[spec] = kernel
+        return kernel
+
+    def tgemm(self, m_rows: int, n: int, k: int) -> MicroKernel:
+        key = (m_rows, n, k)
+        kernel = self._tgemm.get(key)
+        if kernel is None:
+            kernel = generate_tgemm_kernel(m_rows, n, k, self.core)
+            self._tgemm[key] = kernel
+        return kernel
+
+    @property
+    def generated_count(self) -> int:
+        return len(self._ftimm) + len(self._tgemm)
+
+    def clear(self) -> None:
+        self._ftimm.clear()
+        self._tgemm.clear()
+
+
+_registries: dict[int, KernelRegistry] = {}
+
+
+def registry_for(core: DspCoreConfig) -> KernelRegistry:
+    """Process-wide registry per core configuration (keyed by identity)."""
+    reg = _registries.get(id(core))
+    if reg is None:
+        reg = KernelRegistry(core)
+        _registries[id(core)] = reg
+    return reg

@@ -1,0 +1,90 @@
+"""Micro-kernel specifications.
+
+A micro-kernel computes ``C[m_s][n_a] += A[m_s][k_a] x B[k_a][n_a]`` on one
+DSP core with all three tiles resident on chip (A in SM, B and C in AM).
+The paper's central observation (Section III-C) is that a *single* fixed
+kernel shape cannot serve irregular GEMMs: ftIMM therefore generates
+kernels for arbitrary ``m_s`` and ``n_a`` under the hardware constraints
+(``n_a <= 96`` for FP32: three 32-lane vector registers per row is what
+the B-side load bandwidth and FMAC count support).
+
+**FP64 extension** (not in the paper, which evaluates single precision
+only): the 64-bit VPE registers hold 16 FP64 lanes, so the same kernel
+structure supports double precision with ``n_a <= 48`` — but the SPU
+broadcast bus moves only one FP64 per cycle (vs two FP32), which shifts
+the broadcast-bandwidth ceiling from the paper's n_a <= 32 regime onto
+every FP64 kernel narrower than three vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import KernelError
+from ..isa.interp import LANES, LANES_F64
+
+#: per-dtype lane counts of one vector register (64-bit per VPE).
+DTYPE_LANES = {"f32": LANES, "f64": LANES_F64}
+DTYPE_NUMPY = {"f32": np.float32, "f64": np.float64}
+
+#: the widest FP32 kernel the hardware supports (3 x 32 lanes).
+MAX_N_A = 96
+#: practical ceiling on kernel rows; larger m_s is handled by row blocks.
+MAX_M_S = 1024
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Shape (and precision) of one micro-kernel invocation."""
+
+    m_s: int
+    n_a: int
+    k_a: int
+    dtype: str = "f32"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in DTYPE_LANES:
+            raise KernelError(f"dtype must be f32 or f64, got {self.dtype!r}")
+        if not 1 <= self.m_s <= MAX_M_S:
+            raise KernelError(f"m_s={self.m_s} outside 1..{MAX_M_S}")
+        if not 1 <= self.n_a <= self.max_n_a:
+            raise KernelError(
+                f"n_a={self.n_a} outside 1..{self.max_n_a} for {self.dtype}"
+            )
+        if self.k_a < 1:
+            raise KernelError(f"k_a={self.k_a} must be >= 1")
+
+    @property
+    def lanes(self) -> int:
+        """Elements per vector register for this precision."""
+        return DTYPE_LANES[self.dtype]
+
+    @property
+    def max_n_a(self) -> int:
+        """Widest kernel: three vector registers per row."""
+        return 3 * self.lanes
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(DTYPE_NUMPY[self.dtype])
+
+    @property
+    def v_n(self) -> int:
+        """Vector registers per row of B/C (1, 2 or 3)."""
+        return -(-self.n_a // self.lanes)
+
+    @property
+    def padded_n(self) -> int:
+        """Lane-aligned width of the B and C tiles."""
+        return self.v_n * self.lanes
+
+    @property
+    def flops(self) -> int:
+        """Useful floating-point operations of the kernel."""
+        return 2 * self.m_s * self.n_a * self.k_a
+
+    def __str__(self) -> str:
+        suffix = "" if self.dtype == "f32" else f"/{self.dtype}"
+        return f"{self.m_s}x{self.n_a}x{self.k_a}{suffix}"

@@ -1,0 +1,53 @@
+"""The fixed micro-kernel of the traditional implementation (TGEMM, Alg. 2).
+
+TGEMM supports exactly one kernel shape: ``m_s = 6`` rows against the full
+``n_a = 96`` width, with ``k_u = 1`` (no extra accumulator copies).  When
+the true ``N`` is smaller, B is still stored in AM as a ``k x 96`` tile and
+the kernel still issues the full-width FMAs — the *implicit padding* the
+paper identifies as TGEMM's first weakness on irregular shapes (Section
+III-C): wasted AM space, wasted FMAC issue slots, and no latency-hiding
+choice for short rows.
+
+This module builds that kernel with the same generator machinery (so both
+implementations share the scheduler and the interpreter) but with the
+tiling pinned to TGEMM's fixed choices.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelError
+from ..hw.config import DspCoreConfig
+from .generator import MicroKernel, generate_kernel
+from .spec import KernelSpec
+
+#: TGEMM's fixed kernel geometry (Section III-B).
+TGEMM_M_S = 6
+TGEMM_N_A = 96
+
+
+def generate_tgemm_kernel(
+    m_rows: int, n: int, k: int, core: DspCoreConfig
+) -> MicroKernel:
+    """The TGEMM kernel for an ``m_rows x n x k`` tile (``m_rows <= 6``).
+
+    ``n`` may be anything up to 96; the kernel pads it to 96 internally
+    (B and C tiles must be allocated 96 wide).  Efficiency on narrow tiles
+    degrades by exactly the padding ratio ``n / 96`` — the effect ftIMM's
+    generated kernels remove.
+    """
+    if not 1 <= m_rows <= TGEMM_M_S:
+        raise KernelError(
+            f"TGEMM kernel rows must be in 1..{TGEMM_M_S}, got {m_rows}"
+        )
+    if n > TGEMM_N_A:
+        raise KernelError(f"TGEMM kernel width must be <= {TGEMM_N_A}, got {n}")
+    spec = KernelSpec(m_rows, n, k)
+    return generate_kernel(
+        spec,
+        core,
+        name="tgemm",
+        force_m_u=m_rows,
+        force_k_u=1,
+        pad_n_to=TGEMM_N_A,
+        allow_block_adjust=False,
+    )

@@ -1,0 +1,128 @@
+"""CNN convolution layers as im2col GEMMs.
+
+The paper's second motivating workload: convolutional layers lowered with
+image-to-column (im2col) become GEMMs where ``M = batch * H_out * W_out``
+(huge for early layers) and ``N = C_out``, ``K = C_in * kh * kw`` (small
+for early layers) — type-1 irregular shapes that shift toward regular
+shapes deeper in the network as channels grow and images shrink.
+
+Layer tables for VGG-16 and ResNet-18 (the networks the paper cites) are
+included, plus an im2col reference implementation so the example can run a
+real convolution through the simulated GEMM and check it numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.shapes import GemmShape
+from .kmeans import GemmFn, numpy_gemm
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """One convolution layer (square kernels/strides, 'same'-style pad)."""
+
+    name: str
+    c_in: int
+    c_out: int
+    h: int          # input height = width (square images)
+    kernel: int
+    stride: int = 1
+    pad: int = 0
+
+    @property
+    def h_out(self) -> int:
+        return (self.h + 2 * self.pad - self.kernel) // self.stride + 1
+
+    def gemm_shape(self, batch: int = 1) -> GemmShape:
+        """im2col lowering: (B*H_out*W_out) x C_out x (C_in*k*k).
+
+        Note N = C_out here: the output-channel dimension is the "skinny"
+        one for early layers, matching the paper's framing.
+        """
+        m = batch * self.h_out * self.h_out
+        n = self.c_out
+        k = self.c_in * self.kernel * self.kernel
+        return GemmShape(m, n, k)
+
+
+#: VGG-16 convolution stack at 224x224 (Simonyan & Zisserman).
+VGG16_LAYERS: list[ConvLayer] = [
+    ConvLayer("conv1_1", 3, 64, 224, 3, 1, 1),
+    ConvLayer("conv1_2", 64, 64, 224, 3, 1, 1),
+    ConvLayer("conv2_1", 64, 128, 112, 3, 1, 1),
+    ConvLayer("conv2_2", 128, 128, 112, 3, 1, 1),
+    ConvLayer("conv3_1", 128, 256, 56, 3, 1, 1),
+    ConvLayer("conv3_2", 256, 256, 56, 3, 1, 1),
+    ConvLayer("conv4_1", 256, 512, 28, 3, 1, 1),
+    ConvLayer("conv4_2", 512, 512, 28, 3, 1, 1),
+    ConvLayer("conv5_1", 512, 512, 14, 3, 1, 1),
+]
+
+#: ResNet-18 representative convolutions at 224x224 (He et al.).
+RESNET18_LAYERS: list[ConvLayer] = [
+    ConvLayer("conv1", 3, 64, 224, 7, 2, 3),
+    ConvLayer("conv2_x", 64, 64, 56, 3, 1, 1),
+    ConvLayer("conv3_x", 128, 128, 28, 3, 1, 1),
+    ConvLayer("conv4_x", 256, 256, 14, 3, 1, 1),
+    ConvLayer("conv5_x", 512, 512, 7, 3, 1, 1),
+]
+
+
+def im2col(x: np.ndarray, layer: ConvLayer) -> np.ndarray:
+    """Lower NCHW input to the (B*H_out*W_out) x (C_in*k*k) patch matrix."""
+    b, c, h, w = x.shape
+    if c != layer.c_in or h != layer.h or w != layer.h:
+        raise ValueError(f"input {x.shape} does not match layer {layer}")
+    kk, st, pd = layer.kernel, layer.stride, layer.pad
+    h_out = layer.h_out
+    xp = np.pad(x, ((0, 0), (0, 0), (pd, pd), (pd, pd)))
+    cols = np.empty((b * h_out * h_out, c * kk * kk), dtype=np.float32)
+    idx = 0
+    for bi in range(b):
+        for i in range(h_out):
+            for j in range(h_out):
+                patch = xp[bi, :, i * st : i * st + kk, j * st : j * st + kk]
+                cols[idx] = patch.reshape(-1)
+                idx += 1
+    return cols
+
+
+def conv2d_im2col(
+    x: np.ndarray, weights: np.ndarray, layer: ConvLayer, *, gemm: GemmFn = numpy_gemm
+) -> np.ndarray:
+    """Convolution via im2col + GEMM; returns NCHW output.
+
+    ``weights`` is ``(C_out, C_in, k, k)``.  The GEMM computed is the
+    paper's irregular shape: patches (M x K) times filters (K x N).
+    """
+    b = x.shape[0]
+    cols = im2col(x, layer)
+    w_mat = np.ascontiguousarray(
+        weights.reshape(layer.c_out, -1).T, dtype=np.float32
+    )
+    out = np.zeros((cols.shape[0], layer.c_out), dtype=np.float32)
+    gemm(cols, w_mat, out)
+    h_out = layer.h_out
+    return (
+        out.reshape(b, h_out, h_out, layer.c_out).transpose(0, 3, 1, 2).copy()
+    )
+
+
+def conv2d_direct(x: np.ndarray, weights: np.ndarray, layer: ConvLayer) -> np.ndarray:
+    """Straightforward reference convolution (for correctness checks)."""
+    b = x.shape[0]
+    kk, st, pd = layer.kernel, layer.stride, layer.pad
+    h_out = layer.h_out
+    xp = np.pad(x, ((0, 0), (0, 0), (pd, pd), (pd, pd)))
+    out = np.zeros((b, layer.c_out, h_out, h_out), dtype=np.float32)
+    for bi in range(b):
+        for co in range(layer.c_out):
+            for i in range(h_out):
+                for j in range(h_out):
+                    patch = xp[bi, :, i * st : i * st + kk, j * st : j * st + kk]
+                    out[bi, co, i, j] = float((patch * weights[co]).sum())
+    return out

@@ -1,0 +1,30 @@
+"""Random operand generation for tests, examples and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.shapes import GemmShape
+
+
+def random_operands(
+    shape: GemmShape, seed: int = 0, *, c_zero: bool = False
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Float32 A, B, C with standard-normal entries (C zeros on request)."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((shape.m, shape.k)).astype(np.float32)
+    b = rng.standard_normal((shape.k, shape.n)).astype(np.float32)
+    if c_zero:
+        c = np.zeros((shape.m, shape.n), dtype=np.float32)
+    else:
+        c = rng.standard_normal((shape.m, shape.n)).astype(np.float32)
+    return a, b, c
+
+
+def reference_result(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray
+) -> np.ndarray:
+    """``C + A @ B`` accumulated in float64, cast back to C's precision."""
+    return (
+        c.astype(np.float64) + a.astype(np.float64) @ b.astype(np.float64)
+    ).astype(c.dtype)

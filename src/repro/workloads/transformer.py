@@ -1,0 +1,108 @@
+"""Transformer attention as irregular GEMMs.
+
+A workload family the 2022 paper predates but that exactly fits its
+taxonomy: in multi-head attention with head dimension ``d_h`` (typically
+64), the per-head score and value products are
+
+* ``scores = Q_h @ K_h^T`` — an ``(L) x (L) x (d_h)`` GEMM (regular once
+  the sequence L is large), but
+* ``Q_h / K_h / V_h = X @ W_h`` — ``(B*L) x (d_h) x (d_model)`` — a
+  tall-and-skinny times small multiplication (type 1) whenever heads are
+  projected separately, and
+* ``context_h = P_h @ V_h`` — ``(L) x (d_h) x (L)`` — a large-regular x
+  tall-and-skinny product (type 3) for long sequences.
+
+This module enumerates the GEMMs of one attention layer for a given model
+configuration, classifies each, and provides a reference implementation
+whose matmuls route through an injectable GEMM (so the simulated ftIMM
+can run a real attention forward pass in the tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.shapes import GemmShape
+from .kmeans import GemmFn, numpy_gemm
+
+
+@dataclass(frozen=True)
+class AttentionConfig:
+    """One multi-head attention layer."""
+
+    name: str
+    d_model: int
+    n_heads: int
+    seq_len: int
+    batch: int = 1
+
+    @property
+    def d_head(self) -> int:
+        if self.d_model % self.n_heads:
+            raise ValueError(
+                f"{self.name}: d_model {self.d_model} not divisible by "
+                f"{self.n_heads} heads"
+            )
+        return self.d_model // self.n_heads
+
+    def gemm_shapes(self) -> dict[str, GemmShape]:
+        """The distinct GEMM shapes of one forward attention pass."""
+        tokens = self.batch * self.seq_len
+        return {
+            # one per-head projection (x3 for Q, K, V; x n_heads)
+            "head_projection": GemmShape(tokens, self.d_head, self.d_model),
+            # attention scores per head
+            "scores": GemmShape(self.seq_len, self.seq_len, self.d_head),
+            # context per head
+            "context": GemmShape(self.seq_len, self.d_head, self.seq_len),
+            # output projection (merged heads)
+            "output_projection": GemmShape(tokens, self.d_model, self.d_model),
+        }
+
+
+#: representative model configs (head dim 64 throughout — the irregular N).
+STANDARD_CONFIGS = [
+    AttentionConfig("gpt2-small", d_model=768, n_heads=12, seq_len=1024),
+    AttentionConfig("bert-base", d_model=768, n_heads=12, seq_len=512),
+    AttentionConfig("long-context", d_model=1024, n_heads=16, seq_len=8192),
+]
+
+
+def attention_forward(
+    x: np.ndarray,
+    w_q: np.ndarray,
+    w_k: np.ndarray,
+    w_v: np.ndarray,
+    n_heads: int,
+    *,
+    gemm: GemmFn = numpy_gemm,
+) -> np.ndarray:
+    """Single-batch multi-head attention with injectable GEMM.
+
+    ``x``: (L, d_model); ``w_*``: (d_model, d_model).  Returns the merged
+    head contexts (L, d_model); the output projection is left to the
+    caller (it is a regular GEMM).
+    """
+    seq_len, d_model = x.shape
+    d_head = d_model // n_heads
+
+    def mm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        out = np.zeros((a.shape[0], b.shape[1]), dtype=np.float32)
+        gemm(np.ascontiguousarray(a), np.ascontiguousarray(b), out)
+        return out
+
+    out = np.empty((seq_len, d_model), dtype=np.float32)
+    for h in range(n_heads):
+        cols = slice(h * d_head, (h + 1) * d_head)
+        q = mm(x, w_q[:, cols])                     # (L, d_h): type 1
+        k = mm(x, w_k[:, cols])
+        v = mm(x, w_v[:, cols])
+        scores = mm(q, k.T) / math.sqrt(d_head)     # (L, L)
+        scores -= scores.max(axis=1, keepdims=True)
+        weights = np.exp(scores)
+        weights /= weights.sum(axis=1, keepdims=True)
+        out[:, cols] = mm(weights, v)               # (L, d_h): type 3
+    return out

@@ -1,0 +1,91 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.ascii_plot import GLYPHS, PlotConfig, render_chart
+from repro.analysis.tables import ExperimentResult, Series
+
+
+def simple_series():
+    return [
+        Series("up", [1, 2, 3, 4], [1.0, 2.0, 3.0, 4.0]),
+        Series("down", [1, 2, 3, 4], [4.0, 3.0, 2.0, 1.0]),
+    ]
+
+
+class TestRenderChart:
+    def test_contains_glyphs_and_legend(self):
+        text = render_chart(simple_series())
+        assert GLYPHS[0] in text and GLYPHS[1] in text
+        assert "up" in text and "down" in text
+
+    def test_axis_ticks(self):
+        text = render_chart(simple_series())
+        assert "4.00" in text  # max tick
+        assert "1.00" in text  # min tick
+
+    def test_x_footer(self):
+        text = render_chart(simple_series(), x_label="N")
+        assert "1 .. 4" in text
+        assert "(N)" in text
+
+    def test_monotone_series_direction(self):
+        """The rising series' glyph must appear above the falling series'
+        glyph in the first column region and below in the last."""
+        text = render_chart(simple_series(), config=PlotConfig(width=40, height=10))
+        rows = [line.split("|")[1] for line in text.splitlines() if "|" in line]
+        first_col = "".join(row[0] for row in rows)
+        last_col = "".join(row[-1] for row in rows)
+        # 'up' (*) ends high -> appears near the top of the last column
+        assert last_col.strip().startswith("*") or "=" in last_col
+        assert first_col.strip().startswith("o") or "=" in first_col
+
+    def test_overlap_marker(self):
+        crossing = [
+            Series("a", [1, 2], [0.0, 10.0]),
+            Series("b", [1, 2], [0.0, 10.0]),
+        ]
+        assert "=" in render_chart(crossing)
+
+    def test_log_scale(self):
+        series = [Series("s", [1, 2, 3], [1.0, 100.0, 10000.0])]
+        text = render_chart(series, config=PlotConfig(log_y=True, height=8))
+        assert "1.0e+04" in text
+
+    def test_log_scale_rejects_nonpositive(self):
+        series = [Series("s", [1, 2], [0.0, 1.0])]
+        with pytest.raises(ValueError):
+            render_chart(series, config=PlotConfig(log_y=True))
+
+    def test_flat_series_ok(self):
+        text = render_chart([Series("flat", [1, 2, 3], [5.0, 5.0, 5.0])])
+        assert "flat" in text
+
+    def test_empty_and_single_point(self):
+        assert "no data" in render_chart([])
+        assert "two points" in render_chart([Series("one", [1], [2.0])])
+
+    def test_mismatched_lengths_draw_shortest(self):
+        series = [
+            Series("long", [1, 2, 3, 4], [1.0, 2.0, 3.0, 4.0]),
+            Series("short", [1, 2], [2.0, 2.5]),
+        ]
+        assert "short" in render_chart(series)
+
+
+class TestRenderIntegration:
+    def test_experiment_render_with_chart(self):
+        result = ExperimentResult(
+            exp_id="x", title="t", x_label="N", y_label="GFLOPS",
+            series=simple_series(),
+        )
+        text = result.render(chart=True)
+        assert "|" in text          # chart frame
+        assert "(y = GFLOPS)" in text  # table retained
+
+    def test_chart_skipped_for_single_point(self):
+        result = ExperimentResult(
+            exp_id="x", title="t", x_label="N", y_label="y",
+            series=[Series("s", [1], [1.0])],
+        )
+        assert result.render(chart=True)  # no crash, falls back to table

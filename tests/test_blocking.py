@@ -1,0 +1,199 @@
+"""Blocking: CMR formulas, paper defaults, solver, dynamic adjusting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocking import (
+    KPlan,
+    MPlan,
+    TgemmPlan,
+    adjust_k_plan,
+    adjust_m_plan,
+    cmr_f1,
+    cmr_f2,
+    cmr_f3,
+    cmr_f4,
+    solve_k_plan,
+    solve_m_plan,
+)
+from repro.core.shapes import GemmShape
+from repro.errors import PlanError
+
+
+class TestCmrFormulas:
+    def test_f1_verbatim(self):
+        # Eq. 1 with hand-computed value
+        num = 2 * 320 * 5888 * 96 * 8
+        den = 8 * 320 * (5888 + 2 * 96) + 5888 * 96
+        assert cmr_f1(320, 5888, 96, 8) == pytest.approx(num / den)
+
+    def test_f2_verbatim(self):
+        num = 2 * 320 * 864 * 96 * 8
+        den = 8 * 320 * (864 + 2 * 96) + 864 * 96
+        assert cmr_f2(320, 864, 96, 8) == pytest.approx(num / den)
+
+    def test_f3_verbatim(self):
+        num = 2 * 1024 * 512 * 512 * 8
+        den = 8 * 512 * (1024 + 512) + 2 * 1024 * 512
+        assert cmr_f3(1024, 512, 512, 8) == pytest.approx(num / den)
+
+    def test_f4_verbatim(self):
+        num = 2 * 1024 * 512 * 96 * 8
+        den = 8 * 512 * (1024 + 96) + 2 * 1024 * 96
+        assert cmr_f4(1024, 512, 96, 8) == pytest.approx(num / den)
+
+    def test_cmr_increases_with_block_size(self):
+        assert cmr_f2(320, 864, 96, 8) > cmr_f2(160, 864, 96, 8)
+        assert cmr_f4(1024, 512, 96, 8) > cmr_f4(1024, 256, 96, 8)
+
+
+class TestPaperDefaults:
+    def test_tgemm_defaults_are_papers(self):
+        plan = TgemmPlan()
+        assert (plan.m_g, plan.k_g, plan.n_a, plan.m_s) == (512, 512, 96, 6)
+
+    def test_m_plan_defaults_are_papers(self):
+        plan = MPlan()
+        assert (plan.k_g, plan.n_g, plan.m_a, plan.n_a, plan.k_a, plan.m_s) == (
+            5888, 96, 320, 96, 864, 8,
+        )
+
+    def test_k_plan_defaults_are_papers(self):
+        plan = KPlan()
+        assert (plan.m_g, plan.n_g, plan.m_a, plan.n_a, plan.k_a, plan.m_s) == (
+            1024, 512, 1024, 96, 512, 14,
+        )
+
+    def test_m_plan_fills_am_to_the_byte(self, cluster):
+        """2 x 864 x 96 x 4 (B_a ping-pong) + 320 x 96 x 4 (C_a) = 768 KiB."""
+        assert MPlan().am_bytes() == cluster.core.am_bytes
+
+    def test_k_plan_fills_am_to_the_byte(self, cluster):
+        assert KPlan().am_bytes() == cluster.core.am_bytes
+
+    def test_tgemm_plan_fills_am_to_the_byte(self, cluster):
+        assert TgemmPlan().am_bytes() == cluster.core.am_bytes
+
+    def test_all_defaults_validate(self, cluster):
+        TgemmPlan().validate(cluster)
+        MPlan().validate(cluster)
+        KPlan().validate(cluster)
+
+
+class TestValidation:
+    def test_oversized_am_rejected(self, cluster):
+        with pytest.raises(PlanError):
+            MPlan(k_a=2048).validate(cluster)
+
+    def test_oversized_sm_rejected(self, cluster):
+        with pytest.raises(PlanError):
+            MPlan(m_s=64).validate(cluster)
+
+    def test_oversized_gsm_rejected(self, cluster):
+        with pytest.raises(PlanError):
+            MPlan(k_g=16384).validate(cluster)
+
+    def test_inner_exceeding_outer_rejected(self, cluster):
+        with pytest.raises(PlanError):
+            MPlan(k_a=8192, k_g=4096).validate(cluster)
+
+    def test_k_plan_m_s_exceeding_m_a_rejected(self, cluster):
+        with pytest.raises(PlanError):
+            KPlan(m_a=8, m_s=14).validate(cluster)
+
+
+class TestSolvers:
+    def test_solved_m_plan_near_paper(self, cluster):
+        """The CMR solver must land near the paper's 864 / 320 / 8."""
+        plan = solve_m_plan(cluster)
+        assert abs(plan.k_a - 864) <= 128
+        assert abs(plan.m_a - 320) <= 64
+        assert 6 <= plan.m_s <= 14
+
+    def test_solved_k_plan_reasonable(self, cluster):
+        plan = solve_k_plan(cluster)
+        assert plan.n_a == 96
+        assert 256 <= plan.k_a <= 1024
+        assert plan.m_s >= 6
+
+    def test_solver_outputs_validate(self, cluster):
+        solve_m_plan(cluster).validate(cluster)
+        solve_k_plan(cluster).validate(cluster)
+
+
+class TestAdjustMPlan:
+    def test_shrinks_to_problem(self, cluster):
+        plan = adjust_m_plan(MPlan(), GemmShape(2**20, 32, 32), cluster)
+        assert plan.n_a == 32 and plan.n_g == 32
+        assert plan.k_a == 32 and plan.k_g == 32
+
+    def test_regrows_parallel_dimension(self, cluster):
+        plan = adjust_m_plan(MPlan(), GemmShape(2**20, 32, 32), cluster)
+        assert plan.m_a > MPlan().m_a  # freed AM goes to m_a
+
+    def test_keeps_m_s_at_least_6(self, cluster):
+        for m in (64, 4096, 2**20):
+            plan = adjust_m_plan(MPlan(), GemmShape(m, 32, 32), cluster)
+            assert plan.m_s >= 6
+
+    def test_tiny_m_shrinks_m_s(self, cluster):
+        plan = adjust_m_plan(MPlan(), GemmShape(4, 32, 32), cluster)
+        assert plan.m_s <= 4
+
+    def test_chunks_deal_evenly(self, cluster):
+        """m_a sizing must not leave the busiest core a whole extra chunk."""
+        import math
+        for m in (20480, 65536, 100000):
+            plan = adjust_m_plan(MPlan(), GemmShape(m, 32, 20480), cluster)
+            n_chunks = math.ceil(m / plan.m_a)
+            assert n_chunks % cluster.n_cores == 0 or n_chunks < cluster.n_cores
+
+    def test_keeps_am_within_capacity(self, cluster):
+        plan = adjust_m_plan(MPlan(), GemmShape(2**22, 8, 8), cluster)
+        assert plan.am_bytes() <= cluster.core.am_bytes
+
+
+class TestAdjustKPlan:
+    def test_shrinks_to_problem(self, cluster):
+        plan = adjust_k_plan(KPlan(), GemmShape(32, 32, 2**20), cluster)
+        assert plan.n_a == 32
+        assert plan.m_a >= 32
+
+    def test_m_s_minimizes_padding(self, cluster):
+        plan = adjust_k_plan(KPlan(), GemmShape(32, 32, 2**20), cluster)
+        assert plan.m_a % plan.m_s == 0
+        assert plan.m_a == 32  # 4 x 8 rows, no padding
+
+    def test_k_chunks_deal_evenly(self, cluster):
+        import math
+        plan = adjust_k_plan(KPlan(), GemmShape(32, 32, 20480), cluster)
+        n_chunks = math.ceil(20480 / plan.k_a)
+        assert n_chunks % cluster.n_cores == 0 or n_chunks < cluster.n_cores
+
+    def test_sm_bound_respected(self, cluster):
+        plan = adjust_k_plan(KPlan(), GemmShape(32, 32, 2**22), cluster)
+        assert plan.sm_bytes() <= cluster.core.sm_bytes
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    m=st.integers(1, 2**22),
+    n=st.integers(1, 96),
+    k=st.integers(1, 2**22),
+)
+def test_adjusted_plans_always_validate(m, n, k):
+    """Dynamic adjusting never produces a plan violating capacities."""
+    from repro.hw.config import default_machine
+
+    cluster = default_machine().cluster
+    shape = GemmShape(m, n, k)
+    mp = adjust_m_plan(MPlan(), shape, cluster)
+    assert mp.am_bytes() <= cluster.core.am_bytes
+    assert mp.sm_bytes() <= cluster.core.sm_bytes
+    assert mp.gsm_bytes() <= cluster.gsm_bytes
+    assert mp.m_s <= mp.m_a and mp.n_a <= mp.n_g and mp.k_a <= mp.k_g
+    kp = adjust_k_plan(KPlan(), shape, cluster)
+    assert kp.am_bytes() <= cluster.core.am_bytes
+    assert kp.sm_bytes() <= cluster.core.sm_bytes
+    assert kp.m_s <= kp.m_a <= kp.m_g and kp.n_a <= kp.n_g

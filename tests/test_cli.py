@@ -1,0 +1,140 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_shape_parsing(self):
+        args = build_parser().parse_args(["classify", "128x32x64"])
+        assert args.shape == (128, 32, 64)
+
+    def test_star_separator_accepted(self):
+        args = build_parser().parse_args(["classify", "128*32*64"])
+        assert args.shape == (128, 32, 64)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["classify", "128x32"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestClassify:
+    def test_classify_output(self, capsys):
+        assert main(["classify", "65536x32x32"]) == 0
+        out = capsys.readouterr().out
+        assert "type1" in out
+        assert "AI" in out
+
+    def test_invalid_dims_reported_cleanly(self, capsys):
+        assert main(["classify", "0x32x32"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestMachine:
+    def test_machine_summary(self, capsys):
+        assert main(["machine"]) == 0
+        out = capsys.readouterr().out
+        assert "345.6 GFLOPS" in out
+        assert "42.6 GB/s" in out
+
+
+class TestKernel:
+    def test_kernel_summary(self, capsys):
+        assert main(["kernel", "6", "64", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "II=8" in out
+        assert "registers" in out
+
+    def test_kernel_table(self, capsys):
+        assert main(["kernel", "8", "96", "128", "--table"]) == 0
+        assert "VFMULAS32" in capsys.readouterr().out
+
+    def test_kernel_asm(self, capsys):
+        assert main(["kernel", "4", "32", "16", "--asm"]) == 0
+        out = capsys.readouterr().out
+        assert "setup:" in out and "teardown:" in out
+        assert "SVBCAST" in out
+
+    def test_tgemm_kernel(self, capsys):
+        assert main(["kernel", "6", "32", "128", "--tgemm"]) == 0
+        assert "tgemm" in capsys.readouterr().out
+
+    def test_invalid_kernel_reported(self, capsys):
+        assert main(["kernel", "6", "200", "128"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestGemm:
+    def test_gemm_both_impls(self, capsys):
+        assert main(["gemm", "2048x32x128", "--timing", "analytic"]) == 0
+        out = capsys.readouterr().out
+        assert "ftimm" in out and "tgemm" in out
+        assert "roofline" in out
+
+    def test_gemm_verify(self, capsys):
+        assert main([
+            "gemm", "512x32x64", "--verify", "--timing", "none",
+            "--impl", "ftimm",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "verify [ftimm]" in out
+        err = float(out.split("= ")[1].split()[0])
+        assert err < 1e-2
+
+    def test_gemm_cores_and_strategy(self, capsys):
+        assert main([
+            "gemm", "20480x32x2048", "--cores", "4", "--impl", "ftimm",
+            "--timing", "analytic", "--force-strategy", "k",
+        ]) == 0
+        assert " k " in capsys.readouterr().out
+
+    def test_gemm_trace_export(self, capsys, tmp_path):
+        out_file = tmp_path / "t.json"
+        assert main([
+            "gemm", "1024x32x64", "--impl", "ftimm", "--timing", "des",
+            "--trace", str(out_file),
+        ]) == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["traceEvents"]
+        assert "core0/compute" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_tables_experiment(self, capsys):
+        assert main(["experiment", "tables"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "VFMULAS32" in out
+
+
+class TestNewFlags:
+    def test_gemm_plan_flag(self, capsys):
+        assert main([
+            "gemm", "1024x32x64", "--impl", "ftimm", "--timing", "analytic",
+            "--plan",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "traffic by route" in out
+
+    def test_gemm_f64(self, capsys):
+        assert main([
+            "gemm", "1024x32x64", "--dtype", "f64", "--timing", "analytic",
+            "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "verify [ftimm]" in out
+        assert "tgemm" not in out.split("impl")[1].split("\n")[2]
+
+    def test_kernel_f64(self, capsys):
+        assert main(["kernel", "8", "48", "128", "--dtype", "f64"]) == 0
+        assert "/f64" in capsys.readouterr().out
+
+    def test_experiment_hetero(self, capsys):
+        assert main(["experiment", "hetero"]) == 0
+        assert "co-execution" in capsys.readouterr().out

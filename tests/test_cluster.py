@@ -1,0 +1,112 @@
+"""Cluster assemblies: spaces, cores, barrier, reduction model."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigError
+from repro.hw.cluster import ClusterSim, ClusterSpaces, reduction_seconds
+from repro.hw.config import ClusterConfig
+from repro.hw.memory import MemKind
+
+
+class TestClusterSpaces:
+    def test_per_core_spaces_exist(self, cluster):
+        spaces = ClusterSpaces(cluster)
+        assert len(spaces.am) == cluster.n_cores
+        assert len(spaces.sm) == cluster.n_cores
+        assert spaces.gsm.capacity == cluster.gsm_bytes
+
+    def test_space_lookup(self, cluster):
+        spaces = ClusterSpaces(cluster)
+        assert spaces.space(MemKind.DDR) is spaces.ddr
+        assert spaces.space(MemKind.GSM) is spaces.gsm
+        assert spaces.space(MemKind.AM, 3) is spaces.am[3]
+        assert spaces.space(MemKind.SM, 7) is spaces.sm[7]
+
+    def test_space_lookup_bad_core(self, cluster):
+        spaces = ClusterSpaces(cluster)
+        with pytest.raises(ConfigError):
+            spaces.space(MemKind.AM, cluster.n_cores)
+
+    def test_am_capacity_enforced(self, cluster):
+        spaces = ClusterSpaces(cluster)
+        with pytest.raises(CapacityError):
+            spaces.am[0].alloc((1024, 1024))  # 4 MiB > 768 KiB
+
+    def test_reset_restores_all(self, cluster):
+        spaces = ClusterSpaces(cluster)
+        spaces.gsm.alloc((128, 128))
+        spaces.am[0].alloc((16, 16))
+        spaces.reset()
+        assert spaces.gsm.used == 0
+        assert spaces.am[0].used == 0
+
+    def test_peak_report_keys(self, cluster):
+        spaces = ClusterSpaces(cluster)
+        report = spaces.peak_report()
+        assert "gsm" in report
+        assert f"am{cluster.n_cores - 1}" in report
+
+
+class TestClusterSim:
+    def test_ddr_channel_derated(self, cluster):
+        sim = ClusterSim(cluster)
+        expected = cluster.ddr_bandwidth * cluster.dma.ddr_efficiency
+        assert sim.ddr_channel.bandwidth == pytest.approx(expected)
+
+    def test_ddr_per_flow_cap_wired(self, cluster):
+        sim = ClusterSim(cluster)
+        assert sim.ddr_channel.per_flow_cap == pytest.approx(
+            cluster.dma.channel_bandwidth
+        )
+
+    def test_kernel_occupies_compute(self, cluster):
+        cs = ClusterSim(cluster)
+        cs.cores[0].run_kernel(1800)  # 1 us at 1.8 GHz
+        cs.sim.run()
+        assert cs.sim.now == pytest.approx(1e-6)
+        assert cs.cores[0].compute_cycles == 1800
+
+    def test_kernels_serialize_on_one_core(self, cluster):
+        cs = ClusterSim(cluster)
+        cs.cores[0].run_kernel(1800)
+        cs.cores[0].run_kernel(1800)
+        cs.sim.run()
+        assert cs.sim.now == pytest.approx(2e-6)
+
+    def test_kernels_parallel_across_cores(self, cluster):
+        cs = ClusterSim(cluster)
+        cs.cores[0].run_kernel(1800)
+        cs.cores[1].run_kernel(1800)
+        cs.sim.run()
+        assert cs.sim.now == pytest.approx(1e-6)
+
+    def test_barrier_waits_for_last(self, cluster):
+        cs = ClusterSim(cluster)
+        arrivals = [cs.sim.timeout(t) for t in (1e-6, 3e-6)]
+        done = cs.barrier(arrivals, "t")
+        cs.sim.run()
+        extra = cluster.barrier_cycles / cluster.core.clock_hz
+        assert done.triggered
+        assert cs.sim.now == pytest.approx(3e-6 + extra)
+
+
+class TestReduction:
+    def test_single_core_is_just_writeback(self, cluster):
+        nbytes = 4096
+        assert reduction_seconds(cluster, nbytes, 1) == pytest.approx(
+            nbytes / cluster.ddr_bandwidth
+        )
+
+    def test_cost_grows_with_cores(self, cluster):
+        nbytes = 128 * 1024
+        costs = [reduction_seconds(cluster, nbytes, n) for n in (2, 4, 8)]
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_cost_grows_with_bytes(self, cluster):
+        assert reduction_seconds(cluster, 1024, 8) < reduction_seconds(
+            cluster, 1024 * 1024, 8
+        )
+
+    def test_barrier_floor(self, cluster):
+        floor = cluster.barrier_cycles / cluster.core.clock_hz
+        assert reduction_seconds(cluster, 64, 8) > floor

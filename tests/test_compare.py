@@ -1,0 +1,106 @@
+"""The experiment-data comparison tool."""
+
+import json
+
+from repro.analysis.compare import compare_experiments, main
+
+
+def payload(y=4.0, holds=True, exp_id="figX"):
+    return [
+        {
+            "exp_id": exp_id,
+            "title": "t",
+            "x_label": "x",
+            "y_label": "y",
+            "series": [{"label": "s", "x": [1, 2], "y": [2.0, y]}],
+            "claims": [
+                {"name": "c", "paper": "p", "measured": f"{y}", "holds": holds}
+            ],
+            "notes": [],
+        }
+    ]
+
+
+class TestCompare:
+    def test_identical_is_clean(self):
+        report = compare_experiments(payload(), payload())
+        assert report.clean
+        assert "no changes" in report.render(0.05)
+
+    def test_small_moves_within_tolerance_ignored(self):
+        report = compare_experiments(payload(4.0), payload(4.1), tol=0.05)
+        assert report.clean
+
+    def test_large_moves_reported(self):
+        report = compare_experiments(payload(4.0), payload(5.0), tol=0.05)
+        assert len(report.deltas) == 1
+        delta = report.deltas[0]
+        assert delta.rel_change == 0.25
+        assert "moved figX/s" in report.render(0.05)
+
+    def test_claim_flip_reported(self):
+        report = compare_experiments(payload(holds=True), payload(holds=False))
+        assert len(report.flips) == 1
+        assert "now FAILS" in report.render(0.05)
+
+    def test_added_removed(self):
+        report = compare_experiments(payload(exp_id="a"), payload(exp_id="b"))
+        assert report.removed == ["a"]
+        assert report.added == ["b"]
+
+    def test_zero_baseline_move(self):
+        old = payload()
+        old[0]["series"][0]["y"] = [0.0, 0.0]
+        report = compare_experiments(old, payload())
+        assert report.deltas  # 0 -> nonzero is always a move
+
+
+class TestCli:
+    def test_clean_exit_zero(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(payload()))
+        b.write_text(json.dumps(payload()))
+        assert main([str(a), str(b)]) == 0
+        assert "no changes" in capsys.readouterr().out
+
+    def test_flip_exit_one(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(payload(holds=True)))
+        b.write_text(json.dumps(payload(holds=False)))
+        assert main([str(a), str(b)]) == 1
+
+    def test_tolerance_flag(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(payload(4.0)))
+        b.write_text(json.dumps(payload(4.5)))
+        assert main([str(a), str(b), "--tol", "0.5"]) == 0
+
+    def test_usage_error(self, capsys):
+        assert main(["only-one.json"]) == 2
+
+
+def test_real_export_self_compare(tmp_path, monkeypatch):
+    from repro.analysis.tables import Claim, ExperimentResult, Series
+    from repro.experiments import run_all
+
+    class Stub:
+        __name__ = "stub"
+
+        @staticmethod
+        def run():
+            return [
+                ExperimentResult(
+                    exp_id="e", title="t", x_label="x", y_label="y",
+                    series=[Series("s", [1], [1.0])],
+                    claims=[Claim("c", "p", "m", True)],
+                )
+            ]
+
+    monkeypatch.setattr(run_all, "MODULES", [Stub])
+    js = tmp_path / "d.json"
+    run_all.main([str(tmp_path / "e.md"), "--json", str(js)])
+    data = json.loads(js.read_text())
+    assert compare_experiments(data, data).clean

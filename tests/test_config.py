@@ -1,0 +1,146 @@
+"""Machine configuration: paper values, derived peaks, validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.config import (
+    ClusterConfig,
+    CpuConfig,
+    DmaConfig,
+    DspCoreConfig,
+    FT_M7032,
+    LatencyConfig,
+    MachineConfig,
+    default_machine,
+)
+
+
+class TestPaperValues:
+    def test_core_peak_is_345_6_gflops(self, core):
+        assert core.peak_flops == pytest.approx(345.6e9)
+
+    def test_cluster_peak_with_8_cores(self, cluster):
+        assert cluster.peak_flops == pytest.approx(8 * 345.6e9)
+
+    def test_cpu_peak_is_281_6_gflops(self, machine):
+        assert machine.cpu.peak_flops == pytest.approx(281.6e9)
+
+    def test_ddr_bandwidth_is_42_6_gbps(self, cluster):
+        assert cluster.ddr_bandwidth == pytest.approx(42.6e9)
+
+    def test_gsm_is_6_mib(self, cluster):
+        assert cluster.gsm_bytes == 6 * 1024 * 1024
+
+    def test_am_is_768_kib(self, core):
+        assert core.am_bytes == 768 * 1024
+
+    def test_sm_is_64_kib(self, core):
+        assert core.sm_bytes == 64 * 1024
+
+    def test_simd_width_32_fp32(self, core):
+        assert core.simd_lanes == 32
+
+    def test_three_fmac_pipes(self, core):
+        assert core.n_vector_fmac == 3
+
+    def test_am_streams_512_bytes_per_cycle(self, core):
+        assert core.am_bytes_per_cycle == 512
+
+    def test_broadcast_limit_two_scalars(self, core):
+        assert core.broadcast_scalars_per_cycle == 2
+
+    def test_clock_1_8_ghz(self, core):
+        assert core.clock_hz == pytest.approx(1.8e9)
+
+    def test_cpu_has_16_cores(self, machine):
+        assert machine.cpu.n_cores == 16
+
+    def test_four_clusters_on_chip(self, machine):
+        assert machine.n_clusters == 4
+
+
+class TestDerived:
+    def test_fma_lanes_per_cycle(self, core):
+        assert core.fma_lanes_per_cycle == 96
+
+    def test_usable_vector_regs(self, core):
+        assert core.usable_vector_regs == 64 - core.reserved_vector_regs
+
+    def test_default_machine_is_validated_singleton(self):
+        assert default_machine() is FT_M7032
+
+
+class TestWithCores:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_with_cores_scales_peak(self, cluster, n):
+        sub = cluster.with_cores(n)
+        assert sub.n_cores == n
+        assert sub.peak_flops == pytest.approx(n * cluster.core.peak_flops)
+
+    def test_with_cores_keeps_core_config_identity(self, cluster):
+        assert cluster.with_cores(4).core is cluster.core
+
+    @pytest.mark.parametrize("n", [0, 9, -1])
+    def test_with_cores_rejects_out_of_range(self, cluster, n):
+        with pytest.raises(ConfigError):
+            cluster.with_cores(n)
+
+
+class TestValidation:
+    def test_negative_clock_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(DspCoreConfig(), clock_hz=-1).validate()
+
+    def test_zero_simd_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(DspCoreConfig(), simd_lanes=0).validate()
+
+    def test_too_few_registers_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(
+                DspCoreConfig(), n_vector_regs=8, reserved_vector_regs=4
+            ).validate()
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(LatencyConfig(), t_fma=0).validate()
+
+    def test_dma_negative_startup_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(DmaConfig(), startup_cycles=-1).validate()
+
+    def test_dma_zero_channels_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(DmaConfig(), channels_per_core=0).validate()
+
+    def test_dma_bad_ddr_efficiency_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(DmaConfig(), ddr_efficiency=1.5).validate()
+        with pytest.raises(ConfigError):
+            dataclasses.replace(DmaConfig(), ddr_efficiency=0.0).validate()
+
+    def test_dma_zero_channel_bandwidth_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(DmaConfig(), channel_bandwidth=0).validate()
+
+    def test_cluster_zero_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(ClusterConfig(), n_cores=0).validate()
+
+    def test_cluster_zero_gsm_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(ClusterConfig(), gsm_bytes=0).validate()
+
+    def test_cpu_bad_kernel_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(CpuConfig(), kernel_peak_fraction=0).validate()
+
+    def test_machine_zero_clusters_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(MachineConfig(), n_clusters=0).validate()
+
+    def test_machine_validate_returns_self(self):
+        mc = MachineConfig()
+        assert mc.validate() is mc

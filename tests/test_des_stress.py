@@ -1,0 +1,168 @@
+"""Stress/property tests of the timed executor on synthetic op graphs.
+
+These bypass the GEMM drivers: random-but-legal op streams are generated
+directly, then invariants that must hold for *any* plan are checked:
+
+* makespan >= every core's serial compute time (single pipeline);
+* makespan >= total DDR effective bytes / achieved bandwidth;
+* makespan <= fully-serial execution of everything;
+* sync ordering: no op after a sync can complete before every core
+  reached it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plans import OpStreamBuilder
+from repro.core.shapes import GemmShape
+from repro.executor.timed import run_timed
+from repro.hw.dma import DmaDescriptor
+from repro.hw.memory import MemKind
+
+
+def build_random_plan(cluster, rng, n_epochs, ops_per_epoch):
+    builder = OpStreamBuilder(cluster.n_cores)
+    total_cycles = [0] * cluster.n_cores
+    ddr_bytes = 0
+    for _epoch in range(n_epochs):
+        for _ in range(ops_per_epoch):
+            core = rng.randrange(cluster.n_cores)
+            if rng.random() < 0.5:
+                rows = rng.randrange(1, 16)
+                cols = rng.randrange(16, 256)
+                desc = DmaDescriptor(MemKind.DDR, MemKind.AM, rows, cols * 4)
+                ddr_bytes += desc.effective_bytes(cluster.dma)
+                builder.dma(core, desc, buffer="buf", slot=rng.randrange(2))
+            else:
+                cycles = rng.randrange(100, 5000)
+                total_cycles[core] += cycles
+                builder.kernel(
+                    core, cycles, cycles,
+                    reads=(("buf", rng.randrange(2)),),
+                )
+        builder.sync(tag="epoch")
+    return builder.finish(GemmShape(1, 1, 1), "stress", cluster), total_cycles, ddr_bytes
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_epochs=st.integers(1, 4),
+    ops_per_epoch=st.integers(1, 30),
+)
+def test_makespan_bounds(seed, n_epochs, ops_per_epoch):
+    import random
+
+    from repro.hw.config import default_machine
+
+    cluster = default_machine().cluster
+    rng = random.Random(seed)
+    plan, total_cycles, ddr_bytes = build_random_plan(
+        cluster, rng, n_epochs, ops_per_epoch
+    )
+    result = run_timed(plan)
+    clock = cluster.core.clock_hz
+
+    # lower bound: busiest compute pipeline
+    assert result.seconds >= max(total_cycles) / clock - 1e-12
+    # lower bound: DDR port
+    achieved = cluster.ddr_bandwidth * cluster.dma.ddr_efficiency
+    assert result.seconds >= ddr_bytes / achieved - 1e-9
+    # upper bound: everything fully serialized (compute + DMA at the
+    # per-channel cap + per-op startup + barriers)
+    n_dma = sum(
+        1 for ops in plan.core_ops for op in ops if op.desc is not None
+    )
+    serial = (
+        sum(total_cycles) / clock
+        + ddr_bytes / min(achieved, cluster.dma.channel_bandwidth)
+        + n_dma * cluster.dma.startup_cycles / clock
+        + plan.n_syncs * cluster.barrier_cycles / clock
+    )
+    assert result.seconds <= serial + 1e-9
+
+
+def test_sync_orders_epochs(cluster):
+    """An op after a sync cannot start before slow work in the epoch
+    before it finished, on any core."""
+    builder = OpStreamBuilder(cluster.n_cores)
+    slow_cycles = 1_000_000
+    builder.kernel(0, slow_cycles, 1)          # core 0: slow epoch-0 work
+    builder.sync(tag="gate")
+    builder.kernel(1, 100, 1)                   # core 1: epoch-1 work
+    plan = builder.finish(GemmShape(1, 1, 1), "sync-test", cluster)
+    result = run_timed(plan)
+    min_time = (slow_cycles + cluster.barrier_cycles + 100) / cluster.core.clock_hz
+    assert result.seconds >= min_time - 1e-12
+
+
+def test_pingpong_dependency_allows_overlap(cluster):
+    """With two slots, DMA(i+1) overlaps kernel(i): total << serial."""
+    builder = OpStreamBuilder(cluster.n_cores)
+    n_iters = 16
+    kernel_cycles = 200_000
+    desc = DmaDescriptor(MemKind.GSM, MemKind.AM, rows=64, row_bytes=4096)
+    for i in range(n_iters):
+        slot = i % 2
+        builder.dma(0, desc, buffer="B", slot=slot)
+        builder.kernel(0, kernel_cycles, 1, reads=(("B", slot),))
+    plan = builder.finish(GemmShape(1, 1, 1), "pp", cluster)
+    result = run_timed(plan)
+    clock = cluster.core.clock_hz
+    compute_total = n_iters * kernel_cycles / clock
+    dma_each = desc.nbytes / cluster.gsm_bandwidth
+    serial = compute_total + n_iters * dma_each
+    # compute dominates; DMA must hide almost entirely behind it
+    assert result.seconds < serial
+    assert result.seconds == pytest.approx(
+        compute_total + dma_each
+        + cluster.dma.startup_cycles / clock, rel=0.05,
+    )
+
+
+def test_single_slot_serializes(cluster):
+    """With one slot, each DMA waits for the previous consumer: no overlap."""
+    builder = OpStreamBuilder(cluster.n_cores)
+    n_iters = 8
+    kernel_cycles = 200_000
+    desc = DmaDescriptor(MemKind.GSM, MemKind.AM, rows=64, row_bytes=4096)
+    for _ in range(n_iters):
+        builder.dma(0, desc, buffer="B", slot=0)
+        builder.kernel(0, kernel_cycles, 1, reads=(("B", 0),))
+    plan = builder.finish(GemmShape(1, 1, 1), "serial", cluster)
+    result = run_timed(plan)
+    clock = cluster.core.clock_hz
+    dma_each = desc.nbytes / cluster.gsm_bandwidth + cluster.dma.startup_cycles / clock
+    expected = n_iters * (kernel_cycles / clock + dma_each)
+    assert result.seconds == pytest.approx(expected, rel=0.02)
+
+
+def test_empty_plan(cluster):
+    builder = OpStreamBuilder(cluster.n_cores)
+    plan = builder.finish(GemmShape(1, 1, 1), "empty", cluster)
+    result = run_timed(plan)
+    assert result.seconds == 0.0
+
+
+def test_sync_only_plan(cluster):
+    builder = OpStreamBuilder(cluster.n_cores)
+    builder.sync(tag="only")
+    plan = builder.finish(GemmShape(1, 1, 1), "sync-only", cluster)
+    result = run_timed(plan)
+    assert result.seconds == pytest.approx(
+        cluster.barrier_cycles / cluster.core.clock_hz
+    )
+
+
+def test_long_stream_window(cluster):
+    """Streams longer than the in-flight window still complete correctly."""
+    builder = OpStreamBuilder(cluster.n_cores)
+    n = 400  # well past the 128-op window
+    for i in range(n):
+        builder.kernel(0, 1000, 1)
+    plan = builder.finish(GemmShape(1, 1, 1), "long", cluster)
+    result = run_timed(plan)
+    assert result.seconds == pytest.approx(
+        n * 1000 / cluster.core.clock_hz
+    )

@@ -1,0 +1,200 @@
+"""The discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.event_sim import AllOf, Event, Resource, Simulator
+
+
+class TestEvents:
+    def test_timeout_fires_at_time(self):
+        sim = Simulator()
+        fired = []
+        sim.timeout(2.5).wait(lambda ev: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.5]
+
+    def test_timeout_carries_value(self):
+        sim = Simulator()
+        seen = []
+        sim.timeout(1.0, value="payload").wait(lambda ev: seen.append(ev.value))
+        sim.run()
+        assert seen == ["payload"]
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_event_triggered_twice_raises(self):
+        sim = Simulator()
+        ev = sim.event("x")
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_wait_on_triggered_event_fires_immediately(self):
+        sim = Simulator()
+        ev = sim.event().succeed(7)
+        seen = []
+        ev.wait(lambda e: seen.append(e.value))
+        assert seen == [7]
+
+
+class TestProcesses:
+    def test_process_sequences_timeouts(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            yield sim.timeout(1.0)
+            trace.append(sim.now)
+            yield sim.timeout(2.0)
+            trace.append(sim.now)
+            return "done"
+
+        p = sim.process(proc())
+        sim.run()
+        assert trace == [1.0, 3.0]
+        assert p.triggered and p.value == "done"
+
+    def test_process_waits_on_other_process(self):
+        sim = Simulator()
+
+        def inner():
+            yield sim.timeout(5.0)
+            return 42
+
+        def outer():
+            value = yield sim.process(inner())
+            return value + 1
+
+        p = sim.process(outer())
+        sim.run()
+        assert p.value == 43
+        assert sim.now == 5.0
+
+    def test_process_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield "not an event"
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        trace = []
+
+        def proc(name, delay):
+            yield sim.timeout(delay)
+            trace.append((name, sim.now))
+
+        sim.process(proc("a", 2.0))
+        sim.process(proc("b", 1.0))
+        sim.run()
+        assert trace == [("b", 1.0), ("a", 2.0)]
+
+
+class TestAllOf:
+    def test_all_of_waits_for_all(self):
+        sim = Simulator()
+        done = sim.all_of([sim.timeout(1.0), sim.timeout(3.0), sim.timeout(2.0)])
+        times = []
+        done.wait(lambda ev: times.append(sim.now))
+        sim.run()
+        assert times == [3.0]
+
+    def test_all_of_collects_values_in_order(self):
+        sim = Simulator()
+        done = sim.all_of([sim.timeout(2.0, "x"), sim.timeout(1.0, "y")])
+        sim.run()
+        assert done.value == ["x", "y"]
+
+    def test_all_of_empty_fires_immediately(self):
+        sim = Simulator()
+        done = sim.all_of([])
+        sim.run()
+        assert done.triggered and done.value == []
+
+
+class TestResource:
+    def test_capacity_one_serializes(self):
+        sim = Simulator()
+        res = Resource(sim, 1, "r")
+        finish = []
+
+        def user(name, hold):
+            yield sim.process(res.use(hold))
+            finish.append((name, sim.now))
+
+        sim.process(user("a", 2.0))
+        sim.process(user("b", 1.0))
+        sim.run()
+        assert finish == [("a", 2.0), ("b", 3.0)]  # FIFO
+
+    def test_capacity_two_overlaps(self):
+        sim = Simulator()
+        res = Resource(sim, 2, "r")
+        for _ in range(2):
+            sim.process(res.use(2.0))
+        sim.run()
+        assert sim.now == 2.0
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), 0)
+
+    def test_queue_depth_visible(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+        res.request()
+        sim.run()
+        res.request()
+        assert res.in_use == 1
+        assert res.queued == 1
+
+
+class TestSimulator:
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        sim.timeout(10.0)
+        assert sim.run(until=4.0) == 4.0
+        assert sim.now == 4.0
+
+    def test_deterministic_tie_break(self):
+        order1, order2 = [], []
+        for order in (order1, order2):
+            sim = Simulator()
+            for i in range(5):
+                sim.timeout(1.0, value=i).wait(
+                    lambda ev, order=order: order.append(ev.value)
+                )
+            sim.run()
+        assert order1 == order2 == [0, 1, 2, 3, 4]
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def forever():
+            while True:
+                yield sim.timeout(1.0)
+
+        sim.process(forever())
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.timeout(5.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim._schedule_at(1.0, sim.event(), None)

@@ -1,0 +1,65 @@
+"""Every example script must run cleanly — examples are part of the API
+contract and rot silently otherwise.  Run as subprocesses with reduced
+problem sizes where the script allows none, asserting on key output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, timeout: int = 600) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "max |C - A@B|" in out
+        assert "speedup" in out
+        assert "VFMULAS32" in out  # the pipeline table printed
+
+    def test_kmeans(self):
+        out = run_example("kmeans_clustering.py")
+        assert "labels via NumPy == labels via simulated ftIMM: True" in out
+        assert "faster" in out
+
+    def test_cnn_im2col(self):
+        out = run_example("cnn_im2col.py")
+        assert "VGG-16" in out and "ResNet-18" in out
+        assert "conv1_1" in out
+        assert float(out.split("= ")[1].split()[0]) < 1e-3  # conv error line
+
+    def test_autotuning_tour(self):
+        out = run_example("autotuning_tour.py")
+        assert "strategy : m-parallel" in out
+        assert "strategy : k-parallel" in out
+        assert "summary:" in out
+
+    def test_fem_batched(self):
+        out = run_example("fem_batched.py")
+        assert "max error 0.00e+00" in out
+        assert "p1_tet_interp" in out
+
+    def test_whole_chip_tour(self):
+        out = run_example("whole_chip_tour.py")
+        assert "1 DSP core" in out
+        assert "4 clusters" in out
+
+    def test_every_example_file_is_tested(self):
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        tested = {
+            "quickstart.py", "kmeans_clustering.py", "cnn_im2col.py",
+            "autotuning_tour.py", "fem_batched.py", "whole_chip_tour.py",
+        }
+        assert scripts == tested, f"untested examples: {scripts - tested}"

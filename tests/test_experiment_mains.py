@@ -1,0 +1,58 @@
+"""Smoke tests for every experiment's CLI entry point (main()).
+
+These catch render/chart crashes that ``run()``-only tests never exercise.
+Only the fast experiments run their full main(); the heavy sweeps are
+covered through ``run()`` elsewhere and via stubs here.
+"""
+
+import pytest
+
+from repro.experiments import ext_fp64, ext_hetero, fig3, fig6, tables123
+
+
+class TestFastMains:
+    def test_fig3_main(self, capsys):
+        fig3.main()
+        out = capsys.readouterr().out
+        assert "fig3a" in out and "fig3f" in out
+        assert "|" in out  # charts rendered
+
+    def test_tables_main(self, capsys):
+        tables123.main()
+        out = capsys.readouterr().out
+        assert "table1" in out and "VFMULAS32" in out
+
+    def test_fig6_main(self, capsys):
+        fig6.main()
+        out = capsys.readouterr().out
+        assert "scalability" in out
+        assert "forced K" in out
+
+    def test_ext_fp64_main(self, capsys):
+        ext_fp64.main()
+        out = capsys.readouterr().out
+        assert "ext_fp64_a" in out and "ext_fp64_gemm" in out
+
+    def test_ext_hetero_main(self, capsys):
+        ext_hetero.main()
+        assert "co-execution" in capsys.readouterr().out
+
+
+class TestKernelSweepHelpers:
+    def test_fig3_custom_m_values(self):
+        series = fig3.kernel_efficiency_sweep(96, 512, m_values=[4, 8])
+        assert series.x == [4, 8]
+        assert all(0 < y <= 100 for y in series.y)
+
+    def test_fig3_panels_cover_paper(self):
+        ids = [p[0] for p in fig3.PANELS]
+        assert ids == ["fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f"]
+
+    @pytest.mark.parametrize("n,k", [(96, 512), (32, 32)])
+    def test_sweep_monotone_saturation(self, n, k):
+        """Efficiency grows (then plateaus) with kernel rows — never a
+        cliff upward after the plateau."""
+        series = fig3.kernel_efficiency_sweep(n, k)
+        peak_idx = series.y.index(max(series.y))
+        rising = series.y[: peak_idx + 1]
+        assert all(b >= a - 3.0 for a, b in zip(rising, rising[1:]))

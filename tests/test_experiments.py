@@ -1,0 +1,128 @@
+"""Experiment drivers: the paper's claims must hold on this model.
+
+Fig. 3 and the pipeline tables are cheap and asserted in full.  The sweep
+experiments (Figs. 4-7) run on reduced sweeps here to keep the suite fast;
+the full sweeps run in the benchmark harness and ``run_all``.
+"""
+
+import pytest
+
+from repro.experiments import fig3, fig4, fig5, fig6, fig7, tables123
+from repro.experiments.common import run_pair
+
+
+def assert_claims_hold(results):
+    for result in results:
+        for claim in result.claims:
+            assert claim.holds, f"{result.exp_id}: {claim.name}: {claim.measured}"
+
+
+class TestTables123:
+    def test_all_claims_hold(self):
+        assert_claims_hold(tables123.run())
+
+    def test_pipeline_tables_rendered(self):
+        results = tables123.run()
+        for result in results:
+            assert any("VFMULAS32" in note for note in result.notes)
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig3.run()
+
+    def test_six_panels(self, results):
+        assert [r.exp_id for r in results] == [
+            "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f",
+        ]
+
+    def test_all_claims_hold(self, results):
+        assert_claims_hold(results)
+
+    def test_peaks_close_to_paper(self, results):
+        paper = {"fig3a": 98.2, "fig3b": 96.4, "fig3c": 63.0,
+                 "fig3d": 77.4, "fig3e": 65.4, "fig3f": 46.6}
+        for result in results:
+            measured = result.series[0].peak
+            assert measured == pytest.approx(paper[result.exp_id], abs=8.0)
+
+    def test_deep_k_beats_shallow_k(self, results):
+        by_id = {r.exp_id: r.series[0].peak for r in results}
+        assert by_id["fig3a"] > by_id["fig3d"]
+        assert by_id["fig3b"] > by_id["fig3e"]
+        assert by_id["fig3c"] > by_id["fig3f"]
+
+
+class TestFig4Reduced:
+    def test_claims_on_reduced_sweep(self):
+        results = fig4.run(n_sweep=[32, 64, 80])
+        for result in results:
+            for claim in result.claims:
+                if "every N" in claim.name or "N=80" in claim.name:
+                    assert claim.holds, f"{result.exp_id}: {claim.name}"
+
+    def test_single_core_speedup_at_type3_point(self):
+        ft, tg = run_pair(20480, 32, 20480, cores=1, timing="analytic")
+        assert 1.4 <= ft.gflops / tg.gflops <= 2.8  # paper: 2.0x
+
+
+class TestFig5Points:
+    """Representative points of each panel instead of full sweeps."""
+
+    def test_type1_multicore_win(self):
+        ft, tg = run_pair(65536, 32, 32, timing="analytic")
+        assert ft.gflops / tg.gflops > 1.5
+
+    def test_type2_multicore_win(self):
+        ft, tg = run_pair(32, 32, 65536, timing="analytic")
+        assert ft.gflops / tg.gflops > 2.0
+
+    def test_type3_multicore_win_is_largest(self):
+        s1 = (lambda p: p[0].gflops / p[1].gflops)(
+            run_pair(65536, 32, 32, timing="analytic")
+        )
+        s3 = (lambda p: p[0].gflops / p[1].gflops)(
+            run_pair(20480, 32, 20480, timing="analytic")
+        )
+        assert s3 > s1  # the paper's ordering: type 3 benefits most
+
+    def test_below_roofline(self):
+        from repro.baselines.roofline import roofline
+        from repro.core.shapes import GemmShape
+        from repro.hw.config import default_machine
+
+        cluster = default_machine().cluster
+        ft, _ = run_pair(20480, 32, 20480, timing="analytic")
+        ceiling = roofline(GemmShape(20480, 32, 20480), cluster).max_gflops
+        assert ft.gflops < ceiling
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig6.run()
+
+    def test_all_claims_hold(self, results):
+        assert_claims_hold(results)
+
+    def test_four_series(self, results):
+        assert len(results[0].series) == 4
+
+    def test_speedup_normalized_to_one_core(self, results):
+        for series in results[0].series:
+            assert series.y[0] == pytest.approx(1.0)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig7.run()
+
+    def test_all_claims_hold(self, results):
+        assert_claims_hold(results)
+
+    def test_efficiency_units_are_percent(self, results):
+        for result in results:
+            for series in result.series:
+                assert all(0 <= y <= 100 for y in series.y)

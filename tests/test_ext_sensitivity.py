@@ -1,0 +1,29 @@
+"""The model-assumption sensitivity experiment."""
+
+from repro.experiments import ext_sensitivity
+
+
+class TestSensitivity:
+    def test_all_claims_hold(self):
+        results = ext_sensitivity.run()
+        for result in results:
+            for claim in result.claims:
+                assert claim.holds, f"{claim.name}: {claim.measured}"
+
+    def test_sweeps_cover_every_assumption(self):
+        names = {name for name, _values in ext_sensitivity.SWEEPS}
+        assert names == {
+            "t_fma", "t_vldw", "t_bcast", "ddr_efficiency",
+            "row_overhead_bytes", "startup_cycles", "channel_bandwidth",
+            "gsm_bandwidth", "barrier_cycles",
+        }
+
+    def test_perturbation_actually_changes_results(self):
+        """Guard against a sweep that silently ignores the knob."""
+        base = ext_sensitivity._headlines(
+            ext_sensitivity._perturbed("ddr_efficiency", 0.72)
+        )
+        slow = ext_sensitivity._headlines(
+            ext_sensitivity._perturbed("ddr_efficiency", 0.5)
+        )
+        assert base != slow

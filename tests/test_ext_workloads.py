@@ -1,0 +1,28 @@
+"""The intro-workloads extension experiment."""
+
+from repro.experiments import ext_workloads
+
+
+class TestExtWorkloads:
+    def test_all_claims_hold(self):
+        results = ext_workloads.run()
+        for result in results:
+            for claim in result.claims:
+                assert claim.holds, f"{result.exp_id}: {claim.name}: {claim.measured}"
+
+    def test_covers_all_five_domains(self):
+        ids = {r.exp_id for r in ext_workloads.run()}
+        assert ids == {
+            "ext_workloads_kmeans",
+            "ext_workloads_vgg16",
+            "ext_workloads_resnet18",
+            "ext_workloads_attention",
+            "ext_workloads_fem",
+        }
+
+    def test_regular_layers_marked_neutral(self):
+        results = {r.exp_id: r for r in ext_workloads.run()}
+        vgg = results["ext_workloads_vgg16"].series[0]
+        # deep VGG layers are regular: speedup pinned at 1.0 (TGEMM path)
+        assert 1.0 in vgg.y
+        assert max(vgg.y) > 3.0

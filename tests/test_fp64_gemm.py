@@ -1,0 +1,99 @@
+"""Full-stack FP64 GEMM (extension): drivers, tuner, timing, numerics."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import KPlan, MPlan, adjust_k_plan, adjust_m_plan
+from repro.core.ftimm import ftimm_gemm
+from repro.core.shapes import GemmShape
+from repro.errors import PlanError, ShapeError
+
+
+def run_f64(m, n, k, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    c = rng.standard_normal((m, n))
+    ref = c + a @ b
+    result = ftimm_gemm(m, n, k, a=a, b=b, c=c, dtype="f64", **kwargs)
+    np.testing.assert_allclose(c, ref, rtol=1e-10, atol=1e-10)
+    return result
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "m,n,k",
+        [(500, 32, 300), (100, 48, 70), (2000, 17, 40), (7, 3, 33)],
+    )
+    def test_m_parallel_f64(self, m, n, k):
+        result = run_f64(m, n, k, timing="none")
+        assert result.decision.plan.dtype == "f64"
+
+    @pytest.mark.parametrize("m,n,k", [(32, 32, 3000), (48, 20, 4100)])
+    def test_k_parallel_f64(self, m, n, k):
+        result = run_f64(m, n, k, timing="none")
+        assert result.strategy == "k"
+
+    def test_float64_precision_actually_used(self):
+        """Accumulating 1 + 1e-9 over many terms distinguishes f64 from f32."""
+        m, n, k = 8, 8, 4096
+        a = np.full((m, k), 1.0)
+        b = np.full((k, n), 1.0 + 1e-9)
+        c = np.zeros((m, n))
+        ftimm_gemm(m, n, k, a=a, b=b, c=c, dtype="f64", timing="none")
+        expected = k * (1.0 + 1e-9)
+        assert abs(c[0, 0] - expected) < 1e-6  # f32 would be off by ~4e-6+
+
+
+class TestValidation:
+    def test_f32_operands_rejected_for_f64(self):
+        a = np.zeros((8, 8), np.float32)
+        with pytest.raises(PlanError):
+            ftimm_gemm(8, 8, 8, a=a, b=a.copy(), c=a.copy(), dtype="f64")
+
+    def test_n_above_48_rejected(self):
+        with pytest.raises(ShapeError):
+            ftimm_gemm(1024, 64, 64, dtype="f64", timing="analytic")
+
+    def test_regular_shape_has_no_f64_baseline(self):
+        with pytest.raises(ShapeError):
+            ftimm_gemm(512, 512, 512, dtype="f64", timing="analytic")
+
+
+class TestPlans:
+    def test_f64_plans_respect_capacity(self, cluster):
+        for shape in [GemmShape(2**18, 32, 32), GemmShape(2**18, 48, 48)]:
+            plan = adjust_m_plan(MPlan(n_g=48, n_a=48, dtype="f64"), shape, cluster)
+            assert plan.am_bytes() <= cluster.core.am_bytes
+            assert plan.sm_bytes() <= cluster.core.sm_bytes
+            assert plan.esize == 8
+
+    def test_f64_k_plan(self, cluster):
+        plan = adjust_k_plan(
+            KPlan(n_g=48, n_a=48, m_a=512, m_g=512, k_a=448, m_s=8, dtype="f64"),
+            GemmShape(32, 32, 2**18), cluster,
+        )
+        assert plan.am_bytes() <= cluster.core.am_bytes
+        assert plan.n_a <= 48
+
+
+class TestTiming:
+    def test_f64_peak_is_half_of_f32(self):
+        r32 = ftimm_gemm(20480, 32, 2048, timing="analytic")
+        r64 = ftimm_gemm(20480, 32, 2048, timing="analytic", dtype="f64")
+        # compute-bound single core would be exactly 2x; multi-core shapes
+        # mix in bandwidth effects (f64 moves twice the bytes) — both push
+        # f64 below f32
+        assert r64.gflops < r32.gflops
+
+    def test_f64_compute_bound_ratio_single_core(self):
+        r32 = ftimm_gemm(20480, 32, 20480, cores=1, timing="analytic")
+        r64 = ftimm_gemm(20480, 32, 20480, cores=1, timing="analytic", dtype="f64")
+        assert r64.gflops == pytest.approx(r32.gflops / 2, rel=0.25)
+
+    def test_f64_memory_bound_gflops_halved_too(self):
+        """Memory-bound: same bytes/s but 8 B per element -> ~half the
+        useful FLOP rate."""
+        r32 = ftimm_gemm(2**20, 32, 32, timing="analytic")
+        r64 = ftimm_gemm(2**20, 32, 32, timing="analytic", dtype="f64")
+        assert r64.gflops == pytest.approx(r32.gflops / 2, rel=0.3)

@@ -1,0 +1,125 @@
+"""End-to-end public API: ftimm_gemm / tgemm_gemm / gemm."""
+
+import numpy as np
+import pytest
+
+from repro.core.ftimm import ftimm_gemm, gemm, tgemm_gemm
+from repro.core.shapes import GemmShape
+from repro.errors import PlanError
+
+from conftest import assert_gemm_close, make_operands
+
+
+class TestFunctionalEndToEnd:
+    @pytest.mark.parametrize(
+        "m,n,k", [(2000, 32, 300), (100, 96, 100), (40, 16, 3000), (513, 7, 13)]
+    )
+    def test_ftimm_computes_gemm(self, m, n, k):
+        shape = GemmShape(m, n, k)
+        data, ref = make_operands(shape)
+        r = ftimm_gemm(m, n, k, a=data.a, b=data.b, c=data.c, timing="none")
+        assert_gemm_close(data.c, ref, k)
+        assert r.functional is not None
+        assert r.functional.flops == shape.flops
+
+    @pytest.mark.parametrize("m,n,k", [(700, 32, 300), (64, 120, 64)])
+    def test_tgemm_computes_gemm(self, m, n, k):
+        shape = GemmShape(m, n, k)
+        data, ref = make_operands(shape)
+        tgemm_gemm(m, n, k, a=data.a, b=data.b, c=data.c, timing="none")
+        assert_gemm_close(data.c, ref, k)
+
+    def test_partial_operands_rejected(self):
+        a = np.zeros((4, 4), np.float32)
+        with pytest.raises(PlanError):
+            ftimm_gemm(4, 4, 4, a=a)
+
+    def test_wrong_dtype_rejected(self):
+        a = np.zeros((4, 4), np.float64)
+        b = np.zeros((4, 4), np.float32)
+        c = np.zeros((4, 4), np.float32)
+        with pytest.raises(PlanError):
+            ftimm_gemm(4, 4, 4, a=a, b=b, c=c)
+
+    def test_wrong_shape_rejected(self):
+        z = np.zeros((4, 4), np.float32)
+        with pytest.raises(PlanError):
+            ftimm_gemm(4, 4, 5, a=z, b=z, c=z)
+
+
+class TestTimingModes:
+    def test_auto_uses_des_for_small(self):
+        r = ftimm_gemm(2000, 32, 64)
+        assert r.timing_mode == "des"
+        assert r.seconds > 0
+
+    def test_auto_uses_analytic_for_huge(self):
+        r = ftimm_gemm(2**22, 32, 32)
+        assert r.timing_mode == "analytic"
+        assert r.seconds > 0
+
+    def test_explicit_modes_agree_roughly(self):
+        rd = ftimm_gemm(8192, 96, 512, timing="des")
+        ra = ftimm_gemm(8192, 96, 512, timing="analytic")
+        assert ra.seconds == pytest.approx(rd.seconds, rel=0.25)
+
+    def test_timing_none(self):
+        r = ftimm_gemm(128, 32, 64, timing="none")
+        assert r.timing is None
+        with pytest.raises(PlanError):
+            _ = r.seconds
+        assert r.gflops == 0.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(PlanError):
+            ftimm_gemm(64, 32, 64, timing="bogus")
+
+
+class TestResultFields:
+    def test_result_metadata(self):
+        r = ftimm_gemm(65536, 32, 32, timing="analytic")
+        assert r.strategy == "m"
+        assert r.n_cores == 8
+        assert 0 < r.efficiency < 1
+        assert r.decision is not None
+
+    def test_cores_parameter(self):
+        r1 = ftimm_gemm(65536, 32, 32, cores=1, timing="analytic")
+        r8 = ftimm_gemm(65536, 32, 32, cores=8, timing="analytic")
+        assert r1.n_cores == 1 and r8.n_cores == 8
+        assert r8.seconds < r1.seconds
+
+    def test_force_strategy_plumbs_through(self):
+        r = ftimm_gemm(20480, 32, 20480, force_strategy="k", timing="analytic")
+        assert r.strategy == "k"
+
+    def test_adjust_false_plumbs_through(self):
+        from repro.core.blocking import MPlan
+
+        r = ftimm_gemm(65536, 32, 32, adjust=False, timing="analytic")
+        assert r.decision.m_plan == MPlan()
+
+
+class TestHeadlineComparisons:
+    """The paper's qualitative story must hold through the public API."""
+
+    def test_ftimm_beats_tgemm_on_type1(self):
+        f = ftimm_gemm(65536, 32, 32, timing="analytic")
+        t = tgemm_gemm(65536, 32, 32, timing="analytic")
+        assert f.gflops > 1.5 * t.gflops
+
+    def test_ftimm_beats_tgemm_on_type2(self):
+        f = ftimm_gemm(32, 32, 65536, timing="analytic")
+        t = tgemm_gemm(32, 32, 65536, timing="analytic")
+        assert f.gflops > 2.0 * t.gflops
+
+    def test_ftimm_beats_tgemm_on_type3(self):
+        f = ftimm_gemm(20480, 32, 20480, timing="analytic")
+        t = tgemm_gemm(20480, 32, 20480, timing="analytic")
+        assert f.gflops > 3.0 * t.gflops
+
+    def test_gemm_dispatch(self):
+        assert gemm(1024, 32, 64, impl="ftimm").strategy in ("m", "k")
+        assert gemm(1024, 32, 64, impl="tgemm").strategy == "tgemm"
+        with pytest.raises(PlanError):
+            gemm(64, 64, 64, impl="blas")

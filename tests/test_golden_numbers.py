@@ -1,0 +1,78 @@
+"""Golden-number regression pins.
+
+The headline metrics recorded in README/EXPERIMENTS came out of this
+model; these pins catch accidental drift when any component changes.
+Tolerances are deliberately loose enough to survive harmless refactors
+but tight enough that a modeling change shows up here first.
+"""
+
+import pytest
+
+from repro.baselines.cpu_openblas import openblas_sgemm
+from repro.baselines.roofline import roofline
+from repro.core.ftimm import ftimm_gemm, tgemm_gemm
+from repro.core.shapes import GemmShape
+from repro.hw.config import default_machine
+
+
+GOLDEN_KERNEL_EFF = {
+    # (m_s, n_a, k_a) -> percent of core peak (paper values nearby)
+    (12, 96, 512): 96.4,
+    (12, 64, 512): 95.2,
+    (14, 32, 512): 64.5,
+    (14, 96, 32): 77.2,
+    (16, 64, 32): 68.0,
+    (14, 32, 32): 43.5,
+}
+
+GOLDEN_GEMM_GFLOPS = {
+    # (m, n, k, impl) -> analytic GFLOPS
+    (65536, 32, 32, "ftimm"): 104.0,
+    (65536, 32, 32, "tgemm"): 29.2,
+    (32, 32, 65536, "ftimm"): 195.0,
+    (20480, 32, 20480, "ftimm"): 465.0,
+    (20480, 32, 20480, "tgemm"): 93.0,
+}
+
+
+class TestKernelGolden:
+    @pytest.mark.parametrize("spec,expected", list(GOLDEN_KERNEL_EFF.items()))
+    def test_kernel_efficiency_pin(self, registry, spec, expected):
+        eff = 100.0 * registry.ftimm(*spec).efficiency
+        assert eff == pytest.approx(expected, abs=3.0)
+
+
+class TestGemmGolden:
+    @pytest.mark.parametrize("key,expected", list(GOLDEN_GEMM_GFLOPS.items()))
+    def test_gemm_gflops_pin(self, key, expected):
+        m, n, k, impl = key
+        fn = ftimm_gemm if impl == "ftimm" else tgemm_gemm
+        gflops = fn(m, n, k, timing="analytic").gflops
+        assert gflops == pytest.approx(expected, rel=0.15)
+
+
+class TestHeadlineRelations:
+    def test_fig5_speedup_band(self):
+        ft = ftimm_gemm(20480, 32, 20480, timing="analytic")
+        tg = tgemm_gemm(20480, 32, 20480, timing="analytic")
+        assert 3.5 <= ft.gflops / tg.gflops <= 6.5  # paper: up to 7.2x
+
+    def test_roofline_fraction_band(self):
+        machine = default_machine()
+        shape = GemmShape(20480, 32, 20480)
+        ft = ftimm_gemm(*((shape.m, shape.n, shape.k)), timing="analytic")
+        frac = ft.gflops / roofline(shape, machine.cluster).max_gflops
+        assert 0.5 <= frac <= 0.75  # paper: <= 67%
+
+    def test_fig7_efficiency_ratio_band(self):
+        machine = default_machine()
+        shape = GemmShape(32, 32, 65536)
+        ft = ftimm_gemm(shape.m, shape.n, shape.k, timing="analytic")
+        cpu = openblas_sgemm(shape, machine.cpu)
+        ratio = ft.efficiency / cpu.efficiency
+        assert 2.0 <= ratio <= 4.5  # paper: up to 3.1x
+
+    def test_single_core_fig4_band(self):
+        ft = ftimm_gemm(20480, 32, 20480, cores=1, timing="analytic")
+        tg = tgemm_gemm(20480, 32, 20480, cores=1, timing="analytic")
+        assert 1.4 <= ft.gflops / tg.gflops <= 2.6  # paper: 2.0x

@@ -1,0 +1,89 @@
+"""Heterogeneous CPU + DSP co-execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.hetero import best_split, hetero_gemm
+from repro.core.shapes import GemmShape
+from repro.errors import ShapeError
+from repro.hw.config import default_machine
+
+from conftest import assert_gemm_close, make_operands
+
+
+class TestSplit:
+    def test_split_in_range(self, machine):
+        rows = best_split(GemmShape(2**18, 32, 32), machine)
+        assert 0 <= rows < 2**18
+
+    def test_split_makespan_optimality_on_grid(self, machine):
+        """The chosen split must beat DSP-only and any coarse alternative."""
+        shape = GemmShape(2**18, 32, 32)
+        chosen = hetero_gemm(shape.m, shape.n, shape.k, machine=machine)
+        for frac in (0.0, 0.05, 0.15, 0.24):
+            rows = int(shape.m * frac)
+            alt = hetero_gemm(
+                shape.m, shape.n, shape.k, machine=machine, cpu_rows=rows
+            )
+            assert chosen.seconds <= alt.seconds + 1e-12
+
+    def test_invalid_cpu_rows_rejected(self):
+        with pytest.raises(ShapeError):
+            hetero_gemm(100, 32, 32, cpu_rows=100)
+        with pytest.raises(ShapeError):
+            hetero_gemm(100, 32, 32, cpu_rows=-1)
+
+
+class TestFunctional:
+    def test_correctness_with_split(self):
+        shape = GemmShape(1500, 32, 96)
+        data, ref = make_operands(shape, seed=7)
+        result = hetero_gemm(
+            shape.m, shape.n, shape.k,
+            a=data.a, b=data.b, c=data.c, cpu_rows=300,
+        )
+        assert_gemm_close(data.c, ref, shape.k)
+        assert result.cpu_rows == 300
+        assert result.dsp_rows == 1200
+
+    def test_correctness_with_auto_split(self):
+        shape = GemmShape(4096, 16, 64)
+        data, ref = make_operands(shape, seed=8)
+        hetero_gemm(shape.m, shape.n, shape.k, a=data.a, b=data.b, c=data.c)
+        assert_gemm_close(data.c, ref, shape.k)
+
+    def test_zero_cpu_rows_is_dsp_only(self):
+        shape = GemmShape(512, 32, 64)
+        data, ref = make_operands(shape, seed=9)
+        result = hetero_gemm(
+            shape.m, shape.n, shape.k,
+            a=data.a, b=data.b, c=data.c, cpu_rows=0,
+        )
+        assert_gemm_close(data.c, ref, shape.k)
+        assert result.cpu_seconds == 0.0
+        assert result.cpu_share == 0.0
+
+
+class TestTiming:
+    def test_makespan_is_max_of_sides(self):
+        r = hetero_gemm(2**18, 32, 32, cpu_rows=2**14)
+        assert r.seconds == pytest.approx(max(r.cpu_seconds, r.dsp_seconds))
+
+    def test_gain_never_below_one_for_auto_split(self):
+        for m, n, k in [(2**18, 32, 32), (20480, 32, 20480)]:
+            assert hetero_gemm(m, n, k).gain_vs_dsp_only >= 1.0 - 1e-9
+
+    def test_gflops(self):
+        r = hetero_gemm(2**18, 32, 32)
+        assert r.gflops == pytest.approx(
+            GemmShape(2**18, 32, 32).flops / r.seconds / 1e9
+        )
+
+
+class TestExperiment:
+    def test_ext_hetero_claims_hold(self):
+        from repro.experiments import ext_hetero
+
+        for result in ext_hetero.run():
+            for claim in result.claims:
+                assert claim.holds, f"{claim.name}: {claim.measured}"

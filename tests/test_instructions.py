@@ -1,0 +1,106 @@
+"""ISA definitions: opcodes, operand validation, affine memory refs."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.instructions import (
+    Affine,
+    Instr,
+    MemRef,
+    OP_TABLE,
+    Opcode,
+    fma,
+)
+from repro.isa.units import UnitClass
+
+
+class TestOpTable:
+    def test_every_opcode_has_spec(self):
+        for op in Opcode:
+            assert op in OP_TABLE
+
+    def test_loads_and_stores_flagged(self):
+        assert OP_TABLE[Opcode.VLDW].is_load
+        assert OP_TABLE[Opcode.VSTW].is_store
+        assert not OP_TABLE[Opcode.VFMULAS32].is_load
+
+    def test_broadcasts_on_single_unit(self):
+        """The SPU can move at most 2 scalars/cycle into vectors: both
+        broadcast forms must occupy the same single-instance slot."""
+        assert OP_TABLE[Opcode.SVBCAST].unit is UnitClass.SFMAC2
+        assert OP_TABLE[Opcode.SVBCAST2].unit is UnitClass.SFMAC2
+
+    def test_fma_on_vector_fmac(self):
+        assert OP_TABLE[Opcode.VFMULAS32].unit is UnitClass.VFMAC
+
+    def test_mem_lanes(self):
+        assert OP_TABLE[Opcode.VLDW].mem_lanes == 32
+        assert OP_TABLE[Opcode.VLDDW].mem_lanes == 64
+        assert OP_TABLE[Opcode.SLDW].mem_lanes == 2
+        assert OP_TABLE[Opcode.SLDH].mem_lanes == 1
+
+
+class TestAffine:
+    def test_constant(self):
+        assert Affine(5).at(100) == 5
+
+    def test_stepping(self):
+        a = Affine(3, 2)
+        assert [a.at(i) for i in range(3)] == [3, 5, 7]
+
+    def test_memref_at(self):
+        ref = MemRef("B", Affine(1, 2), Affine(32))
+        assert ref.at(0) == (1, 32)
+        assert ref.at(4) == (9, 32)
+
+
+class TestInstrValidation:
+    def test_wrong_dst_count_rejected(self):
+        with pytest.raises(IsaError):
+            Instr(Opcode.SVBCAST2, dsts=("v0",), srcs=("s0", "s1"))
+
+    def test_wrong_src_count_rejected(self):
+        with pytest.raises(IsaError):
+            Instr(Opcode.VADDS32, dsts=("v0",), srcs=("v1",))
+
+    def test_load_requires_mem(self):
+        with pytest.raises(IsaError):
+            Instr(Opcode.VLDW, dsts=("v0",))
+
+    def test_non_mem_op_rejects_mem(self):
+        with pytest.raises(IsaError):
+            Instr(
+                Opcode.SVBCAST,
+                dsts=("v0",),
+                srcs=("s0",),
+                mem=MemRef("A", Affine(0), Affine(0)),
+            )
+
+    def test_fma_helper_reads_accumulator(self):
+        instr = fma("vc", "va", "vb")
+        assert instr.reads == ("vc", "va", "vb")
+        assert instr.writes == ("vc",)
+
+    def test_latency_lookup(self, core):
+        instr = fma("vc", "va", "vb")
+        assert instr.latency(core.latencies) == core.latencies.t_fma
+
+
+class TestRender:
+    def test_fma_renders_conventionally(self):
+        assert fma("vc0", "va1", "vb2").render() == "VFMULAS32 vc0, va1, vb2"
+
+    def test_load_renders_memref(self):
+        instr = Instr(
+            Opcode.VLDW,
+            dsts=("v0",),
+            mem=MemRef("B", Affine(0, 2), Affine(32)),
+        )
+        assert "B[0+2*i][32]" in instr.render()
+
+    def test_vmovi_renders_immediate(self):
+        instr = Instr(Opcode.VMOVI, dsts=("v0",), imm=0.0)
+        assert "#0" in instr.render()
+
+    def test_sbr_renders_bare(self):
+        assert Instr(Opcode.SBR).render() == "SBR"

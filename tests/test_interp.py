@@ -1,0 +1,185 @@
+"""The ISA interpreter: per-opcode semantics and error paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.instructions import Affine, Instr, MemRef, Opcode, fma
+from repro.isa.interp import LANES, MachineState, run_block
+from repro.isa.program import LoopProgram
+
+
+def state(**arrays):
+    defaults = {
+        "A": np.arange(8 * 8, dtype=np.float32).reshape(8, 8),
+        "B": np.arange(8 * 64, dtype=np.float32).reshape(8, 64),
+        "C": np.zeros((8, 64), dtype=np.float32),
+    }
+    defaults.update(arrays)
+    return MachineState(defaults)
+
+
+class TestScalarOps:
+    def test_sldh_loads_one_element(self):
+        st = state()
+        st.execute(Instr(Opcode.SLDH, dsts=("s0",), mem=MemRef("A", Affine(1), Affine(2))))
+        assert st.sregs["s0"] == np.float32(10.0)
+
+    def test_sldw_loads_pair(self):
+        st = state()
+        st.execute(Instr(Opcode.SLDW, dsts=("s0",), mem=MemRef("A", Affine(0), Affine(2))))
+        np.testing.assert_array_equal(st.sregs["s0"], [2.0, 3.0])
+
+    def test_sfext_low_of_pair(self):
+        st = state()
+        st.execute(Instr(Opcode.SLDW, dsts=("s0",), mem=MemRef("A", Affine(0), Affine(4))))
+        st.execute(Instr(Opcode.SFEXTS32L, dsts=("lo",), srcs=("s0",)))
+        assert st.sregs["lo"] == np.float32(4.0)
+
+    def test_sbale2h_high_of_pair(self):
+        st = state()
+        st.execute(Instr(Opcode.SLDW, dsts=("s0",), mem=MemRef("A", Affine(0), Affine(4))))
+        st.execute(Instr(Opcode.SBALE2H, dsts=("hi",), srcs=("s0",)))
+        assert st.sregs["hi"] == np.float32(5.0)
+
+    def test_sbale2h_on_scalar_raises(self):
+        st = state()
+        st.execute(Instr(Opcode.SLDH, dsts=("s0",), mem=MemRef("A", Affine(0), Affine(0))))
+        with pytest.raises(IsaError):
+            st.execute(Instr(Opcode.SBALE2H, dsts=("hi",), srcs=("s0",)))
+
+    def test_sfext_passthrough_on_scalar(self):
+        st = state()
+        st.execute(Instr(Opcode.SLDH, dsts=("s0",), mem=MemRef("A", Affine(0), Affine(7))))
+        st.execute(Instr(Opcode.SFEXTS32L, dsts=("lo",), srcs=("s0",)))
+        assert st.sregs["lo"] == np.float32(7.0)
+
+
+class TestBroadcast:
+    def test_svbcast(self):
+        st = state()
+        st.execute(Instr(Opcode.SLDH, dsts=("s0",), mem=MemRef("A", Affine(0), Affine(3))))
+        st.execute(Instr(Opcode.SFEXTS32L, dsts=("lo",), srcs=("s0",)))
+        st.execute(Instr(Opcode.SVBCAST, dsts=("v0",), srcs=("lo",)))
+        np.testing.assert_array_equal(st.vregs["v0"], np.full(LANES, 3.0))
+
+    def test_svbcast2(self):
+        st = state()
+        st.execute(Instr(Opcode.SLDW, dsts=("s0",), mem=MemRef("A", Affine(0), Affine(0))))
+        st.execute(Instr(Opcode.SFEXTS32L, dsts=("lo",), srcs=("s0",)))
+        st.execute(Instr(Opcode.SBALE2H, dsts=("hi",), srcs=("s0",)))
+        st.execute(Instr(Opcode.SVBCAST2, dsts=("v0", "v1"), srcs=("lo", "hi")))
+        np.testing.assert_array_equal(st.vregs["v0"], np.zeros(LANES))
+        np.testing.assert_array_equal(st.vregs["v1"], np.ones(LANES))
+
+    def test_broadcast_pair_register_raises(self):
+        st = state()
+        st.execute(Instr(Opcode.SLDW, dsts=("s0",), mem=MemRef("A", Affine(0), Affine(0))))
+        with pytest.raises(IsaError):
+            st.execute(Instr(Opcode.SVBCAST, dsts=("v0",), srcs=("s0",)))
+
+
+class TestVectorOps:
+    def test_vldw(self):
+        st = state()
+        st.execute(Instr(Opcode.VLDW, dsts=("v0",), mem=MemRef("B", Affine(1), Affine(32))))
+        np.testing.assert_array_equal(st.vregs["v0"], np.arange(96, 128))
+
+    def test_vlddw_two_registers(self):
+        st = state()
+        st.execute(Instr(Opcode.VLDDW, dsts=("v0", "v1"), mem=MemRef("B", Affine(0), Affine(0))))
+        np.testing.assert_array_equal(st.vregs["v0"], np.arange(0, 32))
+        np.testing.assert_array_equal(st.vregs["v1"], np.arange(32, 64))
+
+    def test_vstw_and_vstdw(self):
+        st = state()
+        st.execute(Instr(Opcode.VMOVI, dsts=("v0",), imm=2.5))
+        st.execute(Instr(Opcode.VMOVI, dsts=("v1",), imm=1.5))
+        st.execute(Instr(Opcode.VSTW, srcs=("v0",), mem=MemRef("C", Affine(0), Affine(0))))
+        st.execute(Instr(Opcode.VSTDW, srcs=("v0", "v1"), mem=MemRef("C", Affine(1), Affine(0))))
+        assert np.all(st.arrays["C"][0, :32] == 2.5)
+        assert np.all(st.arrays["C"][1, :32] == 2.5)
+        assert np.all(st.arrays["C"][1, 32:64] == 1.5)
+
+    def test_fma_accumulates_float32(self):
+        st = state()
+        st.execute(Instr(Opcode.VMOVI, dsts=("vc",), imm=1.0))
+        st.execute(Instr(Opcode.VMOVI, dsts=("va",), imm=2.0))
+        st.execute(Instr(Opcode.VMOVI, dsts=("vb",), imm=3.0))
+        st.execute(fma("vc", "va", "vb"))
+        np.testing.assert_array_equal(st.vregs["vc"], np.full(LANES, 7.0))
+        assert st.vregs["vc"].dtype == np.float32
+
+    def test_vadds32(self):
+        st = state()
+        st.execute(Instr(Opcode.VMOVI, dsts=("va",), imm=2.0))
+        st.execute(Instr(Opcode.VMOVI, dsts=("vb",), imm=3.0))
+        st.execute(Instr(Opcode.VADDS32, dsts=("vd",), srcs=("va", "vb")))
+        np.testing.assert_array_equal(st.vregs["vd"], np.full(LANES, 5.0))
+
+    def test_sbr_is_noop(self):
+        st = state()
+        st.execute(Instr(Opcode.SBR))
+        assert st.instructions_retired == 1
+
+
+class TestErrors:
+    def test_out_of_bounds_load_raises(self):
+        st = state()
+        with pytest.raises(IsaError):
+            st.execute(Instr(Opcode.VLDW, dsts=("v0",), mem=MemRef("B", Affine(0), Affine(48))))
+
+    def test_unknown_tile_raises(self):
+        st = state()
+        with pytest.raises(IsaError):
+            st.execute(Instr(Opcode.VLDW, dsts=("v0",), mem=MemRef("Z", Affine(0), Affine(0))))
+
+    def test_undefined_register_read_raises(self):
+        st = state()
+        with pytest.raises(IsaError):
+            st.execute(Instr(Opcode.VADDS32, dsts=("vd",), srcs=("nope", "nope")))
+
+    def test_undefined_scalar_raises(self):
+        st = state()
+        with pytest.raises(IsaError):
+            st.execute(Instr(Opcode.SVBCAST, dsts=("v0",), srcs=("missing",)))
+
+    def test_non_2d_tile_rejected(self):
+        with pytest.raises(IsaError):
+            MachineState({"A": np.zeros(8, dtype=np.float32)})
+
+    def test_integer_tile_rejected(self):
+        with pytest.raises(IsaError):
+            MachineState({"A": np.zeros((2, 2), dtype=np.int32)})
+
+    def test_mixed_dtype_tiles_rejected(self):
+        with pytest.raises(IsaError):
+            MachineState({
+                "A": np.zeros((2, 2), dtype=np.float32),
+                "B": np.zeros((2, 2), dtype=np.float64),
+            })
+
+    def test_f64_tiles_use_16_lanes(self):
+        st = MachineState({"A": np.zeros((2, 32), dtype=np.float64)})
+        assert st.vlanes == 16
+
+
+class TestLoopExecution:
+    def test_affine_stepping_across_iterations(self):
+        """A tiny hand-built dot-product loop: C[0,:] += sum_k A[0,k]*B[k,:]."""
+        a = np.array([[1.0, 2.0, 3.0, 4.0]], dtype=np.float32)
+        b = np.arange(4 * 32, dtype=np.float32).reshape(4, 32)
+        c = np.zeros((1, 32), dtype=np.float32)
+        body = [
+            Instr(Opcode.SLDH, dsts=("s0",), mem=MemRef("A", Affine(0), Affine(0, 1))),
+            Instr(Opcode.SFEXTS32L, dsts=("lo",), srcs=("s0",)),
+            Instr(Opcode.SVBCAST, dsts=("va",), srcs=("lo",)),
+            Instr(Opcode.VLDW, dsts=("vb",), mem=MemRef("B", Affine(0, 1), Affine(0))),
+            fma("vc", "va", "vb"),
+        ]
+        setup = [Instr(Opcode.VMOVI, dsts=("vc",), imm=0.0)]
+        teardown = [Instr(Opcode.VSTW, srcs=("vc",), mem=MemRef("C", Affine(0), Affine(0)))]
+        block = LoopProgram(setup, body, trip=4, teardown=teardown)
+        st = MachineState({"A": a, "B": b, "C": c})
+        run_block(block, st)
+        np.testing.assert_allclose(c[0], (a @ b)[0], rtol=1e-6)

@@ -1,0 +1,26 @@
+"""The kernel-gallery doc generator."""
+
+from repro.experiments.kernel_gallery import F32_SPECS, F64_SPECS, gallery_markdown, main
+
+
+class TestGallery:
+    def test_markdown_covers_all_specs(self):
+        text = gallery_markdown()
+        for m, n, k in F32_SPECS:
+            assert f"## {m}x{n}x{k}" in text
+        for m, n, k in F64_SPECS:
+            assert f"## {m}x{n}x{k}/f64" in text
+        assert "tgemm" in text
+
+    def test_pipeline_tables_present(self):
+        text = gallery_markdown()
+        assert text.count("VFMULAS32") > len(F32_SPECS)
+        assert "SVBCAST2" in text  # narrow-N kernels use dual broadcasts
+        assert "SLDD" in text      # FP64 kernels use 64-bit scalar loads
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "KERNELS.md"
+        main([str(out)])
+        assert out.exists()
+        assert "micro-kernel gallery" in out.read_text()
+        assert str(out) in capsys.readouterr().out

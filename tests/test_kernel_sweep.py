@@ -1,0 +1,94 @@
+"""Systematic kernel-grid invariants.
+
+Sweeps the generator across the whole supported (m_s, n_a) grid and
+asserts the invariants that must hold for *every* kernel — the paper's
+ceilings, monotonicities, and basic sanity.  This is the widest net the
+suite casts over the generator.
+"""
+
+import pytest
+
+from repro.isa.scheduler import verify_schedule
+
+M_GRID = [1, 2, 3, 4, 6, 8, 11, 14, 16]
+N_GRID = [8, 16, 32, 48, 64, 80, 96]
+
+
+@pytest.fixture(scope="module")
+def grid(registry):
+    return {
+        (m, n): registry.ftimm(m, n, 256)
+        for m in M_GRID
+        for n in N_GRID
+    }
+
+
+class TestGridInvariants:
+    def test_efficiency_in_unit_interval(self, grid):
+        for key, kern in grid.items():
+            assert 0 < kern.efficiency <= 1.0, key
+
+    def test_broadcast_ceiling_narrow(self, grid):
+        for (m, n), kern in grid.items():
+            if n <= 32:
+                assert kern.efficiency <= 2 / 3 + 1e-9, (m, n)
+
+    def test_register_budget_respected(self, grid, core):
+        for key, kern in grid.items():
+            _s, vregs = kern.registers_used()
+            assert vregs <= core.n_vector_regs, key
+
+    def test_row_blocks_partition_m(self, grid):
+        for (m, n), kern in grid.items():
+            assert sum(b.m_u for b in kern.blocks) == m
+
+    def test_schedules_verify(self, grid, core):
+        for key, kern in grid.items():
+            for sched in kern.body_schedules:
+                verify_schedule(sched, core.latencies)
+
+    def test_cycle_count_positive_and_bounded(self, grid, core):
+        """Cycles at least the FMA issue bound, at most 100x it."""
+        for (m, n), kern in grid.items():
+            v_n = -(-n // 32)
+            fma_instrs = m * v_n * 256  # total FMA issues over k
+            lower = fma_instrs / core.n_vector_fmac
+            assert kern.cycles >= lower, (m, n)
+            assert kern.cycles <= 100 * max(lower, 1), (m, n)
+
+    def test_wider_n_never_lowers_gflops(self, grid):
+        """At equal m and k, more columns means at least as much useful
+        work per cycle (per-v_n-class monotonicity)."""
+        for m in M_GRID:
+            by_class: dict[int, list[float]] = {}
+            for n in N_GRID:
+                v_n = -(-n // 32)
+                by_class.setdefault(v_n, []).append(grid[(m, n)].gflops)
+            for values in by_class.values():
+                assert values == sorted(values), m
+
+    def test_full_vector_beats_ragged(self, registry):
+        for m in (6, 8, 12):
+            full = registry.ftimm(m, 64, 256).efficiency
+            ragged = registry.ftimm(m, 65, 256).efficiency
+            assert full > ragged
+
+
+class TestGridMeta:
+    def test_ku_selection_rule(self, grid, core):
+        """k_u = 1 only for full-width kernels with enough rows."""
+        t_fma = core.latencies.t_fma
+        for (m, n), kern in grid.items():
+            info = kern.blocks[0]
+            if info.k_u == 1:
+                assert n > 64, (m, n)
+                assert info.m_u >= t_fma or m < t_fma, (m, n)
+
+    def test_mu_never_exceeds_ms(self, grid):
+        for (m, _n), kern in grid.items():
+            assert all(b.m_u <= m for b in kern.blocks)
+
+    def test_meta_records_decisions(self, grid):
+        for kern in grid.values():
+            meta = kern.program.meta
+            assert {"m_u", "k_u", "v_n", "k_eff"} <= set(meta)

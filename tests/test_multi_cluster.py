@@ -1,0 +1,101 @@
+"""Multi-cluster GEMM: correctness of both splits and scaling behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.multi_cluster import choose_split, multi_cluster_gemm
+from repro.core.shapes import GemmShape
+from repro.errors import PlanError, ShapeError
+
+from conftest import assert_gemm_close, make_operands
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("split", ["m", "k"])
+    @pytest.mark.parametrize("clusters", [1, 2, 4])
+    def test_functional_matches_reference(self, split, clusters):
+        shape = GemmShape(512, 32, 600)
+        data, ref = make_operands(shape, seed=3)
+        multi_cluster_gemm(
+            shape.m, shape.n, shape.k,
+            n_clusters=clusters, split=split, timing="none",
+            a=data.a, b=data.b, c=data.c,
+        )
+        assert_gemm_close(data.c, ref, shape.k)
+
+    def test_m_split_uneven_rows(self):
+        shape = GemmShape(101, 16, 64)  # 101 rows over 4 clusters
+        data, ref = make_operands(shape, seed=4)
+        multi_cluster_gemm(
+            shape.m, shape.n, shape.k, n_clusters=4, split="m",
+            timing="none", a=data.a, b=data.b, c=data.c,
+        )
+        assert_gemm_close(data.c, ref, shape.k)
+
+    def test_k_split_uneven_depth(self):
+        shape = GemmShape(48, 24, 1001)
+        data, ref = make_operands(shape, seed=5)
+        multi_cluster_gemm(
+            shape.m, shape.n, shape.k, n_clusters=4, split="k",
+            timing="none", a=data.a, b=data.b, c=data.c,
+        )
+        assert_gemm_close(data.c, ref, shape.k)
+
+
+class TestSplitSelection:
+    def test_type1_prefers_m_split(self, machine):
+        assert choose_split(GemmShape(2**20, 32, 32), machine) == "m"
+
+    def test_type2_small_m_prefers_k_split(self, machine):
+        assert choose_split(GemmShape(32, 32, 2**20), machine) == "k"
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(PlanError):
+            multi_cluster_gemm(64, 32, 64, split="diagonal")
+
+    def test_cluster_count_bounds(self):
+        with pytest.raises(ShapeError):
+            multi_cluster_gemm(64, 32, 64, n_clusters=5)
+        with pytest.raises(ShapeError):
+            multi_cluster_gemm(64, 32, 64, n_clusters=0)
+
+
+class TestTiming:
+    def test_m_split_speedup(self):
+        one = multi_cluster_gemm(2**20, 32, 32, n_clusters=1)
+        four = multi_cluster_gemm(2**20, 32, 32, n_clusters=4, split="m")
+        assert one.seconds / four.seconds > 3.0
+
+    def test_m_split_charges_b_replication(self):
+        r = multi_cluster_gemm(2**18, 96, 512, n_clusters=4, split="m")
+        assert r.replicate_seconds > 0
+        assert r.reduce_seconds == 0
+
+    def test_k_split_charges_reduction(self):
+        r = multi_cluster_gemm(32, 32, 2**18, n_clusters=4, split="k")
+        assert r.reduce_seconds > 0
+        assert r.replicate_seconds == 0
+
+    def test_single_cluster_has_no_overheads(self):
+        r = multi_cluster_gemm(4096, 32, 128, n_clusters=1)
+        assert r.split == "single"
+        assert r.replicate_seconds == 0 and r.reduce_seconds == 0
+
+    def test_gflops_and_efficiency(self):
+        r = multi_cluster_gemm(2**20, 32, 32, n_clusters=4, split="m")
+        assert r.gflops > 0
+        assert 0 < r.efficiency < 1
+
+    def test_result_carries_per_cluster_results(self):
+        r = multi_cluster_gemm(2**18, 32, 32, n_clusters=2, split="m")
+        assert len(r.cluster_results) == 2
+        assert all(x.strategy == "m" for x in r.cluster_results)
+
+
+class TestExperiment:
+    def test_ext_multicluster_claims_hold(self):
+        from repro.experiments import ext_multicluster
+
+        for result in ext_multicluster.run():
+            for claim in result.claims:
+                assert claim.holds, f"{claim.name}: {claim.measured}"

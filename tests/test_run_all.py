@@ -1,0 +1,77 @@
+"""The run_all orchestrator: markdown + JSON generation."""
+
+import json
+
+from repro.analysis.tables import Claim, ExperimentResult, Series
+from repro.experiments import run_all
+
+
+class _StubModule:
+    __name__ = "stub"
+
+    @staticmethod
+    def run():
+        return [
+            ExperimentResult(
+                exp_id="stub1",
+                title="stub experiment",
+                x_label="x",
+                y_label="y",
+                series=[Series("s", [1, 2], [3.0, 4.0])],
+                claims=[Claim("works", "yes", "measured", True)],
+            ),
+            ExperimentResult(
+                exp_id="stub2",
+                title="second",
+                x_label="x",
+                y_label="y",
+                claims=[Claim("fails", "no", "sadly", False)],
+            ),
+        ]
+
+
+class TestWriteMarkdown:
+    def results(self):
+        return _StubModule.run()
+
+    def test_markdown_structure(self, tmp_path, capsys):
+        out = tmp_path / "EXP.md"
+        run_all.write_markdown(self.results(), out)
+        text = out.read_text()
+        assert text.startswith("# EXPERIMENTS")
+        assert "**Claims held: 1 / 2.**" in text
+        assert "### stub1" in text and "### stub2" in text
+        assert "**no**" in text  # the failed claim is flagged
+        assert str(out) in capsys.readouterr().out
+
+    def test_json_export(self, tmp_path):
+        out = tmp_path / "data.json"
+        run_all.write_json(self.results(), out)
+        data = json.loads(out.read_text())
+        assert len(data) == 2
+        assert data[0]["exp_id"] == "stub1"
+        assert data[0]["series"][0]["y"] == [3.0, 4.0]
+        assert data[1]["claims"][0]["holds"] is False
+
+
+class TestMainPlumbing:
+    def test_main_with_stubbed_modules(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(run_all, "MODULES", [_StubModule])
+        md = tmp_path / "EXP.md"
+        js = tmp_path / "data.json"
+        run_all.main([str(md), "--json", str(js)])
+        assert md.exists() and js.exists()
+        out = capsys.readouterr().out
+        assert "stub1" in out
+        assert "1/2 claims hold" in out
+
+    def test_module_list_covers_every_experiment(self):
+        """Everything importable under repro.experiments with run() must be
+        registered in run_all (so EXPERIMENTS.md can't silently go stale)."""
+        import repro.experiments as exp
+
+        registered = {m.__name__ for m in run_all.MODULES}
+        for name in exp.__all__:
+            module = getattr(exp, name)
+            if hasattr(module, "run"):
+                assert module.__name__ in registered, name

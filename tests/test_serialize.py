@@ -1,0 +1,75 @@
+"""Kernel program serialization round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.interp import run_program
+from repro.isa.scheduler import schedule_loop
+from repro.kernels.serialize import (
+    instr_from_dict,
+    instr_to_dict,
+    program_from_dict,
+    program_to_dict,
+)
+
+
+class TestInstrRoundTrip:
+    def test_all_body_instrs_round_trip(self, registry):
+        kern = registry.ftimm(6, 64, 32)
+        for block in kern.program.blocks:
+            for instr in [*block.setup, *block.body, *block.teardown]:
+                restored = instr_from_dict(instr_to_dict(instr))
+                assert restored == instr
+
+    def test_json_compatible(self, registry):
+        kern = registry.ftimm(8, 96, 16)
+        text = json.dumps(program_to_dict(kern.program))
+        assert "VFMULAS32" in text
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(IsaError):
+            instr_from_dict({"op": "FROBNICATE"})
+
+
+class TestProgramRoundTrip:
+    def test_structure_preserved(self, registry):
+        kern = registry.ftimm(14, 32, 64)
+        restored = program_from_dict(program_to_dict(kern.program))
+        assert len(restored.blocks) == len(kern.program.blocks)
+        for old, new in zip(kern.program.blocks, restored.blocks):
+            assert old.trip == new.trip
+            assert old.rows == new.rows
+            assert old.body == new.body
+        assert restored.meta["k_u"] == kern.program.meta["k_u"]
+
+    def test_restored_program_schedules_identically(self, registry, core):
+        kern = registry.ftimm(6, 64, 64)
+        restored = program_from_dict(program_to_dict(kern.program))
+        ii_new = schedule_loop(restored.blocks[0].body, core.latencies).ii
+        assert ii_new == kern.ii
+
+    def test_restored_program_interprets_identically(self, registry):
+        kern = registry.ftimm(4, 48, 8)
+        restored = program_from_dict(program_to_dict(kern.program))
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((4, kern.compute_k)).astype(np.float32)
+        b = rng.standard_normal((kern.compute_k, kern.compute_n)).astype(np.float32)
+        c1 = np.zeros((4, kern.compute_n), np.float32)
+        c2 = c1.copy()
+        run_program(kern.program, {"A": a, "B": b.copy(), "C": c1})
+        run_program(restored, {"A": a, "B": b.copy(), "C": c2})
+        np.testing.assert_array_equal(c1, c2)
+
+    def test_f64_program_round_trips(self, registry):
+        kern = registry.ftimm(6, 32, 16, dtype="f64")
+        restored = program_from_dict(program_to_dict(kern.program))
+        assert restored.meta["dtype"] == "f64"
+        assert restored.blocks[0].body == kern.program.blocks[0].body
+
+    def test_registers_used_stable(self, registry):
+        kern = registry.ftimm(10, 96, 32)
+        restored = program_from_dict(program_to_dict(kern.program))
+        assert restored.registers_used() == kern.program.registers_used()

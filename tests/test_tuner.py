@@ -1,0 +1,83 @@
+"""Dynamic adjusting: strategy selection rules (Section IV-C)."""
+
+import pytest
+
+from repro.core.blocking import KPlan, MPlan
+from repro.core.shapes import GemmShape
+from repro.core.tuner import (
+    TuningDecision,
+    choose_strategy,
+    m_small_threshold,
+    tune,
+)
+
+
+class TestStrategySelection:
+    def test_type1_uses_m_parallel(self, cluster):
+        assert choose_strategy(GemmShape(65536, 32, 32), cluster) == "m"
+
+    def test_type2_uses_k_parallel(self, cluster):
+        assert choose_strategy(GemmShape(32, 32, 65536), cluster) == "k"
+
+    def test_type3_uses_m_parallel_per_section_4c(self, cluster):
+        assert choose_strategy(GemmShape(20480, 32, 20480), cluster) == "m"
+
+    def test_wide_n_falls_back_to_tgemm(self, cluster):
+        assert choose_strategy(GemmShape(4096, 512, 4096), cluster) == "tgemm"
+
+    def test_small_m_small_k_stays_m_parallel(self, cluster):
+        # nothing is large: K-parallel's reduction isn't worth it
+        assert choose_strategy(GemmShape(64, 32, 64), cluster) == "m"
+
+    def test_threshold_scales_with_cores(self, cluster):
+        assert m_small_threshold(cluster.with_cores(2)) < m_small_threshold(cluster)
+
+    def test_boundary_just_below_threshold(self, cluster):
+        m = m_small_threshold(cluster) - 1
+        assert choose_strategy(GemmShape(m, 32, 2**20), cluster) == "k"
+
+    def test_boundary_at_threshold(self, cluster):
+        m = m_small_threshold(cluster)
+        assert choose_strategy(GemmShape(m, 32, 2**20), cluster) == "m"
+
+
+class TestTune:
+    def test_tune_returns_adjusted_m_plan(self, cluster):
+        d = tune(GemmShape(65536, 32, 32), cluster)
+        assert d.strategy == "m"
+        assert d.m_plan is not None
+        assert d.m_plan.n_a == 32  # adjusted
+
+    def test_tune_returns_adjusted_k_plan(self, cluster):
+        d = tune(GemmShape(32, 32, 65536), cluster)
+        assert d.strategy == "k"
+        assert d.k_plan.n_a == 32
+
+    def test_adjust_false_keeps_initial_blocks(self, cluster):
+        d = tune(GemmShape(65536, 32, 32), cluster, adjust=False)
+        assert d.m_plan == MPlan()
+
+    def test_force_strategy(self, cluster):
+        d = tune(GemmShape(20480, 32, 20480), cluster, force_strategy="k")
+        assert d.strategy == "k"
+        assert isinstance(d.k_plan, KPlan)
+
+    def test_plan_property_dispatch(self, cluster):
+        d = tune(GemmShape(65536, 32, 32), cluster)
+        assert d.plan is d.m_plan
+
+    def test_reason_is_populated(self, cluster):
+        assert tune(GemmShape(65536, 32, 32), cluster).reason
+
+    def test_tgemm_decision_for_regular(self, cluster):
+        d = tune(GemmShape(4096, 4096, 4096), cluster)
+        assert d.strategy == "tgemm"
+        assert d.tgemm_plan is not None
+
+    def test_decision_is_frozen(self, cluster):
+        d = tune(GemmShape(65536, 32, 32), cluster)
+        with pytest.raises(AttributeError):
+            d.strategy = "k"
+
+    def test_decision_type(self, cluster):
+        assert isinstance(tune(GemmShape(64, 64, 64), cluster), TuningDecision)

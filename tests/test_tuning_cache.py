@@ -1,0 +1,90 @@
+"""Persistent tuning cache."""
+
+import pytest
+
+from repro.core.blocking import MPlan
+from repro.core.shapes import GemmShape
+from repro.core.tuning_cache import CacheEntry, CacheKey, TuningCache
+from repro.errors import PlanError
+
+
+class TestKey:
+    def test_roundtrip(self):
+        key = CacheKey(65536, 32, 32, 8, "f32")
+        assert CacheKey.from_str(key.to_str()) == key
+
+    def test_distinct_per_core_count(self, cluster):
+        shape = GemmShape(64, 32, 64)
+        k8 = CacheKey.of(shape, cluster)
+        k4 = CacheKey.of(shape, cluster.with_cores(4))
+        assert k8 != k4
+
+
+class TestCache:
+    def test_get_or_tune_populates(self, cluster, registry):
+        cache = TuningCache()
+        shape = GemmShape(8192, 32, 256)
+        entry = cache.get_or_tune(shape, cluster, registry=registry)
+        assert cache.misses == 1
+        assert entry.strategy in ("m", "k")
+        assert isinstance(entry.plan, MPlan) or entry.strategy == "k"
+
+    def test_second_lookup_hits(self, cluster, registry):
+        cache = TuningCache()
+        shape = GemmShape(8192, 32, 256)
+        first = cache.get_or_tune(shape, cluster, registry=registry)
+        second = cache.get_or_tune(shape, cluster, registry=registry)
+        assert cache.hits == 1 and cache.misses == 1
+        assert second is first
+
+    def test_plan_rebuild_validates(self, cluster, registry):
+        cache = TuningCache()
+        shape = GemmShape(8192, 32, 256)
+        entry = cache.get_or_tune(shape, cluster, registry=registry)
+        plan = entry.plan
+        plan.validate(cluster)  # capacity-legal after rebuild
+
+    def test_f64_not_searchable_yet(self, cluster):
+        with pytest.raises(PlanError):
+            TuningCache().get_or_tune(
+                GemmShape(1024, 32, 64), cluster, dtype="f64"
+            )
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, cluster, registry, tmp_path):
+        cache = TuningCache()
+        shape = GemmShape(8192, 32, 256)
+        entry = cache.get_or_tune(shape, cluster, registry=registry)
+        path = cache.save(tmp_path / "tuned.json")
+        loaded = TuningCache.load(path)
+        assert len(loaded) == 1
+        key = CacheKey.of(shape, cluster)
+        restored = loaded.get(key)
+        assert restored.strategy == entry.strategy
+        assert restored.plan == entry.plan
+        assert restored.seconds == pytest.approx(entry.seconds)
+
+    def test_load_missing_file_gives_empty(self, tmp_path):
+        cache = TuningCache.load(tmp_path / "absent.json")
+        assert len(cache) == 0
+
+    def test_corrupt_strategy_rejected(self):
+        bad = '{"1x2x3@8c/f32": {"strategy": "zig", "plan": {}, "seconds": 1, "validated": true}}'
+        with pytest.raises(PlanError):
+            TuningCache.from_json(bad)
+
+    def test_loaded_entry_usable_by_driver(self, cluster, registry, tmp_path):
+        from repro.core.parallel_m import build_parallel_m
+        from repro.executor.timed import run_timed
+
+        cache = TuningCache()
+        shape = GemmShape(8192, 32, 256)
+        cache.get_or_tune(shape, cluster, registry=registry)
+        loaded = TuningCache.load(cache.save(tmp_path / "t.json"))
+        entry = loaded.get(CacheKey.of(shape, cluster))
+        if entry.strategy == "m":
+            ex = build_parallel_m(
+                shape, cluster, plan=entry.plan, adjust=False, registry=registry
+            )
+            assert run_timed(ex).seconds > 0

@@ -1,0 +1,117 @@
+"""Static program validation."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.instructions import Affine, Instr, MemRef, Opcode, fma
+from repro.isa.program import KernelProgram, LoopProgram
+from repro.isa.validator import validate_program
+
+
+def program_of(setup=(), body=(), trip=1, teardown=()):
+    return KernelProgram([LoopProgram(list(setup), list(body), trip, list(teardown))])
+
+
+def vload(dst, row, col, step=0):
+    return Instr(Opcode.VLDW, dsts=(dst,), mem=MemRef("B", Affine(row, step), Affine(col)))
+
+
+class TestDefUse:
+    def test_read_before_def_rejected(self):
+        prog = program_of(body=[
+            Instr(Opcode.VADDS32, dsts=("vd",), srcs=("vx", "vy")),
+        ])
+        with pytest.raises(IsaError, match="before definition"):
+            validate_program(prog, m_s=4, k_eff=4, padded_n=32)
+
+    def test_setup_defs_satisfy_body(self):
+        prog = program_of(
+            setup=[Instr(Opcode.VMOVI, dsts=("vc",), imm=0.0),
+                   Instr(Opcode.VMOVI, dsts=("va",), imm=1.0)],
+            body=[vload("vb", 0, 0, step=1), fma("vc", "va", "vb")],
+            trip=4,
+        )
+        validate_program(prog, m_s=4, k_eff=4, padded_n=32)
+
+    def test_cross_iteration_defs_allowed(self):
+        """A body instruction may read a value its own iteration defines
+        later in program order — supplied by the previous iteration."""
+        prog = program_of(
+            setup=[Instr(Opcode.VMOVI, dsts=("vc",), imm=0.0)],
+            body=[
+                Instr(Opcode.VADDS32, dsts=("vd",), srcs=("vc", "ve")),  # ve defined below
+                Instr(Opcode.VMOVI, dsts=("ve",), imm=2.0),
+            ],
+            trip=2,
+        )
+        validate_program(prog, m_s=4, k_eff=4, padded_n=32)
+
+    def test_teardown_read_undefined_rejected(self):
+        prog = program_of(teardown=[
+            Instr(Opcode.VSTW, srcs=("vz",), mem=MemRef("C", Affine(0), Affine(0))),
+        ])
+        with pytest.raises(IsaError, match="before definition"):
+            validate_program(prog, m_s=4, k_eff=4, padded_n=32)
+
+
+class TestMemoryBounds:
+    def test_last_iteration_overrun_rejected(self):
+        prog = program_of(body=[vload("vb", 0, 0, step=1)], trip=10)
+        with pytest.raises(IsaError, match="outside"):
+            validate_program(prog, m_s=4, k_eff=4, padded_n=32)  # row 9 > 3
+
+    def test_column_overrun_rejected(self):
+        prog = program_of(body=[vload("vb", 0, 16)], trip=1)
+        with pytest.raises(IsaError, match="outside"):
+            validate_program(prog, m_s=4, k_eff=4, padded_n=32)
+
+    def test_f64_lanes_respected(self):
+        """With 16-lane vectors, col 32 within a 48-wide tile is legal."""
+        prog = program_of(body=[vload("vb", 0, 32)], trip=1)
+        validate_program(prog, m_s=4, k_eff=4, padded_n=48, vlanes=16)
+        with pytest.raises(IsaError):
+            validate_program(prog, m_s=4, k_eff=4, padded_n=48, vlanes=32)
+
+    def test_store_to_read_only_tile_rejected(self):
+        prog = program_of(
+            setup=[Instr(Opcode.VMOVI, dsts=("v0",), imm=0.0)],
+            body=[Instr(Opcode.VSTW, srcs=("v0",),
+                        mem=MemRef("B", Affine(0), Affine(0)))],
+            trip=1,
+        )
+        with pytest.raises(IsaError, match="read-only"):
+            validate_program(prog, m_s=4, k_eff=4, padded_n=32)
+
+    def test_unknown_tile_rejected(self):
+        prog = program_of(body=[
+            Instr(Opcode.VLDW, dsts=("v0",),
+                  mem=MemRef("Z", Affine(0), Affine(0))),
+        ])
+        with pytest.raises(IsaError, match="unknown tile"):
+            validate_program(prog, m_s=4, k_eff=4, padded_n=32)
+
+
+class TestGeneratedProgramsValidate:
+    """The generator calls the validator itself; this re-checks externally."""
+
+    @pytest.mark.parametrize("m,n,k", [(8, 96, 64), (14, 32, 64), (6, 64, 33)])
+    def test_f32_kernels(self, registry, m, n, k):
+        kern = registry.ftimm(m, n, k)
+        validate_program(
+            kern.program, m_s=m, k_eff=kern.compute_k,
+            padded_n=kern.compute_n, vlanes=32,
+        )
+
+    def test_f64_kernel(self, registry):
+        kern = registry.ftimm(8, 48, 64, dtype="f64")
+        validate_program(
+            kern.program, m_s=8, k_eff=kern.compute_k,
+            padded_n=kern.compute_n, vlanes=16,
+        )
+
+    def test_tgemm_kernel(self, registry):
+        kern = registry.tgemm(6, 32, 64)
+        validate_program(
+            kern.program, m_s=6, k_eff=kern.compute_k,
+            padded_n=kern.compute_n, vlanes=32,
+        )
