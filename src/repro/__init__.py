@@ -27,6 +27,8 @@ Package map:
 * :mod:`repro.core`      — ftIMM: blocking, tuning, drivers (IV-B/IV-C)
 * :mod:`repro.executor`  — functional / event-driven / analytic execution
 * :mod:`repro.baselines` — roofline + OpenBLAS-on-CPU models
+* :mod:`repro.obs`       — metrics registry, profiling scopes, run-logs
+* :mod:`repro.analysis`  — tables, charts, bottleneck attribution
 * :mod:`repro.workloads` — K-means, CNN im2col, FEM generators
 * :mod:`repro.experiments` — one driver per table/figure of the paper
 """
@@ -47,8 +49,11 @@ from .api import (
     multi_cluster_gemm,
     KernelSpec,
     MachineConfig,
+    MetricsRegistry,
     MicroKernel,
+    ProfileScope,
     classify,
+    collecting,
     default_machine,
     ftimm_gemm,
     gemm,
@@ -91,8 +96,11 @@ __all__ = [
     "KernelError",
     "KernelSpec",
     "MachineConfig",
+    "MetricsRegistry",
     "MicroKernel",
     "PlanError",
+    "ProfileScope",
+    "collecting",
     "ReproError",
     "ScheduleError",
     "ShapeError",

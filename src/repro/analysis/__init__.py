@@ -1,18 +1,28 @@
-"""Metrics and result-table utilities."""
+"""Metrics, result-table, and bottleneck-attribution utilities."""
 
 from .ascii_plot import PlotConfig, render_chart
+from .bottleneck import (
+    BottleneckReport,
+    EpochAttribution,
+    attribute,
+    diff_records,
+)
 from .metrics import efficiency, gflops, percent, speedup
 from .tables import Claim, ExperimentResult, Series, format_table
 
 __all__ = [
+    "BottleneckReport",
     "Claim",
-    "PlotConfig",
-    "render_chart",
+    "EpochAttribution",
     "ExperimentResult",
+    "PlotConfig",
     "Series",
+    "attribute",
+    "diff_records",
     "efficiency",
     "format_table",
     "gflops",
     "percent",
+    "render_chart",
     "speedup",
 ]

@@ -12,11 +12,16 @@ def gflops(shape: GemmShape, seconds: float) -> float:
     return shape.flops / seconds / 1e9
 
 
-def efficiency(achieved_gflops: float, peak_flops: float) -> float:
-    """Achieved / peak, the metric of the paper's Fig. 7."""
+def efficiency(achieved_flops: float, peak_flops: float) -> float:
+    """Achieved / peak, the metric of the paper's Fig. 7.
+
+    Both arguments are in FLOP/s (the historical signature mixed GFLOP/s
+    and FLOP/s, a unit asymmetry that silently produced 1e9-off results
+    for callers passing consistent units).
+    """
     if peak_flops <= 0:
         raise ValueError("peak must be positive")
-    return achieved_gflops * 1e9 / peak_flops
+    return achieved_flops / peak_flops
 
 
 def speedup(base_seconds: float, new_seconds: float) -> float:

@@ -25,6 +25,7 @@ from .hw.config import MachineConfig, default_machine
 from .kernels.generator import MicroKernel
 from .kernels.registry import registry_for
 from .kernels.spec import KernelSpec
+from .obs import MetricsRegistry, ProfileScope, collecting
 
 
 def generate_kernel(
@@ -56,8 +57,11 @@ __all__ = [
     "multi_cluster_gemm",
     "KernelSpec",
     "MachineConfig",
+    "MetricsRegistry",
     "MicroKernel",
+    "ProfileScope",
     "classify",
+    "collecting",
     "default_machine",
     "ftimm_gemm",
     "gemm",

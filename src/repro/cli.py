@@ -4,7 +4,8 @@
 
     python -m repro gemm 20480x32x20480 [--impl ftimm|tgemm|both]
                                         [--cores N] [--timing MODE]
-                                        [--verify] [--trace out.json]
+                                        [--verify] [--trace out.json] [--perf]
+    python -m repro perf --shape MxNxK [--runlog runs.jsonl] [--compare]
     python -m repro kernel M N K [--table] [--asm] [--tgemm]
     python -m repro classify MxNxK
     python -m repro experiment fig3|fig4|fig5|fig6|fig7|tables|all
@@ -42,6 +43,15 @@ def _parse_shape(text: str) -> tuple[int, int, int]:
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
     return m, n, k
+
+
+def _trace_summary(recorder) -> str:
+    """Row-utilization table of a captured trace."""
+    rows = [
+        [s.row, s.spans, f"{s.busy * 1e6:.1f}", f"{100 * s.utilization:.1f}%"]
+        for s in recorder.summarize()
+    ]
+    return format_table(["row", "spans", "busy (us)", "util"], rows)
 
 
 def _cmd_gemm(args: argparse.Namespace) -> int:
@@ -86,28 +96,37 @@ def _cmd_gemm(args: argparse.Namespace) -> int:
 
             err = float(np.abs(kwargs["c"] - reference).max())
             print(f"verify [{impl}]: max |C - reference| = {err:.3e}")
-        if (args.trace or args.plan) and impl == "ftimm":
+        if (args.trace or args.plan or args.perf) and impl == "ftimm":
             from .core.ftimm import _lower  # noqa: SLF001 - CLI convenience
             from .core.tuner import tune
 
             cluster = machine.cluster
             if args.cores:
                 cluster = cluster.with_cores(args.cores)
-            decision = tune(shape, cluster, dtype=args.dtype)
+            decision = tune(
+                shape, cluster, dtype=args.dtype,
+                force_strategy=args.force_strategy,
+            )
             lowered = _lower(
                 shape, cluster, decision, None, registry_for(cluster.core)
             )
             if args.plan:
                 print(lowered.describe())
-            if args.trace:
+            if args.trace or args.perf:
                 from .executor.timed import run_timed
                 from .executor.trace import TraceRecorder
 
-                recorder = TraceRecorder()
-                run_timed(lowered, trace=recorder)
-                path = recorder.save(args.trace)
-                print(f"trace: {recorder.n_spans} spans -> {path}")
-                print(recorder.ascii_timeline())
+                recorder = TraceRecorder() if args.trace else None
+                timed = run_timed(lowered, trace=recorder, profile=args.perf)
+                if recorder is not None:
+                    path = recorder.save(args.trace)
+                    print(f"trace: {recorder.n_spans} spans -> {path}")
+                    print(recorder.ascii_timeline())
+                    print(_trace_summary(recorder))
+                if args.perf:
+                    from .analysis.bottleneck import attribute
+
+                    print(attribute(timed, shape, cluster).render())
 
     print(f"shape {shape} ({shape.classify().value}), "
           f"AI {shape.arithmetic_intensity:.1f} flops/byte")
@@ -151,6 +170,66 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
         print(render_assembly(block.body))
         print("\nteardown:")
         print(render_assembly(block.teardown))
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .analysis.bottleneck import attribute, diff_records
+    from .core.blocking import TgemmPlan
+    from .core.ftimm import _lower  # noqa: SLF001 - CLI convenience
+    from .core.tuner import TuningDecision, tune
+    from .executor.timed import run_timed
+    from .obs import (
+        append_record,
+        collecting,
+        last_matching,
+        make_record,
+        read_records,
+    )
+
+    m, n, k = args.shape
+    shape = GemmShape(m, n, k)
+    cluster = default_machine().cluster
+    if args.cores:
+        cluster = cluster.with_cores(args.cores)
+    if args.impl == "tgemm":
+        decision = TuningDecision(
+            strategy="tgemm",
+            tgemm_plan=TgemmPlan().validate(cluster),
+            reason="baseline",
+        )
+    else:
+        decision = tune(
+            shape, cluster, dtype=args.dtype,
+            force_strategy=args.force_strategy,
+        )
+    with collecting() as reg:
+        lowered = _lower(
+            shape, cluster, decision, None, registry_for(cluster.core)
+        )
+        result = run_timed(lowered, profile=True)
+    report = attribute(result, shape, cluster, impl=args.impl)
+    print(report.render())
+
+    record = make_record(
+        **report.to_record_fields(),
+        profile=result.profile.to_dict(),
+        metrics=reg.snapshot(),
+    )
+    earlier = read_records(args.runlog)
+    if args.compare:
+        prev = last_matching(
+            earlier, shape=str(shape), impl=args.impl, cores=cluster.n_cores
+        )
+        print()
+        if prev is None:
+            print(f"compare: no earlier {shape} run in {args.runlog}")
+        else:
+            print(diff_records(prev, record))
+    append_record(args.runlog, record)
+    print(f"run-log: {args.runlog} ({len(earlier) + 1} records)")
+    if args.metrics:
+        print(reg.to_json(indent=1))
     return 0
 
 
@@ -229,7 +308,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a Chrome-trace of the DES run")
     p_gemm.add_argument("--plan", action="store_true",
                         help="print the lowered op-stream summary")
+    p_gemm.add_argument("--perf", action="store_true",
+                        help="print the per-epoch bottleneck attribution")
     p_gemm.set_defaults(fn=_cmd_gemm)
+
+    p_perf = sub.add_parser(
+        "perf", help="profile one GEMM and attribute its bottleneck"
+    )
+    p_perf.add_argument("--shape", type=_parse_shape, required=True,
+                        metavar="MxNxK")
+    p_perf.add_argument("--impl", choices=["ftimm", "tgemm"], default="ftimm")
+    p_perf.add_argument("--cores", type=int, default=None)
+    p_perf.add_argument("--dtype", choices=["f32", "f64"], default="f32")
+    p_perf.add_argument("--force-strategy", choices=["m", "k", "tgemm"],
+                        default=None)
+    p_perf.add_argument("--runlog", metavar="OUT.jsonl", default="runs.jsonl",
+                        help="JSONL run-log to append to (default runs.jsonl)")
+    p_perf.add_argument("--compare", action="store_true",
+                        help="diff against the latest matching run-log entry")
+    p_perf.add_argument("--metrics", action="store_true",
+                        help="also dump the raw metrics registry as JSON")
+    p_perf.set_defaults(fn=_cmd_perf)
 
     p_kernel = sub.add_parser("kernel", help="generate one micro-kernel")
     p_kernel.add_argument("m", type=int)

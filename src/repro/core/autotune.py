@@ -36,6 +36,7 @@ from ..errors import PlanError
 from ..executor.analytic import analytic_parallel_k, analytic_parallel_m
 from ..executor.timed import run_timed
 from ..hw.config import ClusterConfig
+from ..obs.registry import ProfileScope, current as _obs_current
 from ..kernels.registry import KernelRegistry, registry_for
 from .blocking import FP32, KPlan, MPlan, MIN_GOOD_M_S, N_MAX
 from .shapes import GemmShape
@@ -203,33 +204,41 @@ def autotune(
             f"got N={shape.n}"
         )
     registry = registry or registry_for(cluster.core)
+    m = _obs_current()
     candidates: list[Candidate] = []
-    for plan in m_plan_candidates(shape, cluster):
-        candidates.append(_score(shape, cluster, "m", plan, registry))
-    for plan in k_plan_candidates(shape, cluster):
-        candidates.append(_score(shape, cluster, "k", plan, registry))
-    if not candidates:
-        raise PlanError(f"no feasible candidate plans for {shape}")
+    with ProfileScope("tuner/search_wall_s"):
+        for plan in m_plan_candidates(shape, cluster):
+            candidates.append(_score(shape, cluster, "m", plan, registry))
+        for plan in k_plan_candidates(shape, cluster):
+            candidates.append(_score(shape, cluster, "k", plan, registry))
+        if not candidates:
+            raise PlanError(f"no feasible candidate plans for {shape}")
 
-    decision = tune(shape, cluster)
-    if decision.strategy == "tgemm":  # pragma: no cover - guarded above
-        raise PlanError("rule-based tuner fell back to TGEMM")
-    rule = _score(shape, cluster, decision.strategy, decision.plan, registry)
+        decision = tune(shape, cluster)
+        if decision.strategy == "tgemm":  # pragma: no cover - guarded above
+            raise PlanError("rule-based tuner fell back to TGEMM")
+        rule = _score(shape, cluster, decision.strategy, decision.plan, registry)
+        if m is not None:
+            m.counter("tuner/searches").inc()
+            m.counter("tuner/candidates_evaluated").inc(len(candidates) + 1)
 
-    candidates.sort(key=lambda c: c.seconds)
-    if validate_top > 0:
-        finalists = candidates[:validate_top]
-        if all(_estimate_ops(shape, c) <= validate_op_limit for c in finalists)                 and _estimate_ops(shape, rule) <= validate_op_limit:
-            finalists = [
-                _des_score(shape, cluster, c, registry) for c in finalists
-            ]
-            rule = _des_score(shape, cluster, rule, registry)
-            best = min([*finalists, rule], key=lambda c: c.seconds)
-            return AutotuneResult(
-                shape=shape, best=best, rule=rule,
-                n_candidates=len(candidates),
-            )
-    best = candidates[0]
-    return AutotuneResult(
-        shape=shape, best=best, rule=rule, n_candidates=len(candidates)
-    )
+        candidates.sort(key=lambda c: c.seconds)
+        if validate_top > 0:
+            finalists = candidates[:validate_top]
+            if all(_estimate_ops(shape, c) <= validate_op_limit for c in finalists)                 and _estimate_ops(shape, rule) <= validate_op_limit:
+                with ProfileScope("tuner/des_validate_wall_s"):
+                    finalists = [
+                        _des_score(shape, cluster, c, registry) for c in finalists
+                    ]
+                    rule = _des_score(shape, cluster, rule, registry)
+                if m is not None:
+                    m.counter("tuner/des_validated").inc(len(finalists) + 1)
+                best = min([*finalists, rule], key=lambda c: c.seconds)
+                return AutotuneResult(
+                    shape=shape, best=best, rule=rule,
+                    n_candidates=len(candidates),
+                )
+        best = candidates[0]
+        return AutotuneResult(
+            shape=shape, best=best, rule=rule, n_candidates=len(candidates)
+        )

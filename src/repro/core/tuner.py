@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Literal
 
 from ..hw.config import ClusterConfig
+from ..obs.registry import current as _obs_current
 from .blocking import KPlan, MPlan, TgemmPlan, adjust_k_plan, adjust_m_plan
 from .shapes import GemmShape, IRREGULAR_N_MAX, LARGE_DIM
 
@@ -98,6 +99,12 @@ def tune(
             f"{dtype} kernel (3 vector registers)"
         )
     strategy = force_strategy or choose_strategy(shape, cluster)
+    m = _obs_current()
+    if m is not None:
+        m.counter("tuner/decisions").inc()
+        m.counter(f"tuner/strategy/{strategy}").inc()
+        if force_strategy is not None:
+            m.counter("tuner/forced").inc()
     if strategy == "tgemm":
         if dtype != "f32":
             raise ShapeError(

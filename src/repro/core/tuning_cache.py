@@ -22,6 +22,7 @@ from pathlib import Path
 
 from ..errors import PlanError
 from ..hw.config import ClusterConfig
+from ..obs.registry import current as _obs_current
 from .autotune import AutotuneResult, autotune
 from .blocking import KPlan, MPlan
 from .shapes import GemmShape
@@ -86,6 +87,9 @@ class TuningCache:
         entry = self.entries.get(key)
         if entry is not None:
             self.hits += 1
+            m = _obs_current()
+            if m is not None:
+                m.counter("tuner/cache/hits").inc()
         return entry
 
     def get_or_tune(
@@ -101,6 +105,9 @@ class TuningCache:
         if entry is not None:
             return entry
         self.misses += 1
+        m = _obs_current()
+        if m is not None:
+            m.counter("tuner/cache/misses").inc()
         if dtype != "f32":
             raise PlanError("the autotuner currently searches f32 plans only")
         result = autotune(shape, cluster, **autotune_kwargs)

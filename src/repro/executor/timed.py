@@ -17,6 +17,13 @@ emerges rather than being hard-coded.
 
 A sliding window caps in-flight processes per core so multi-hundred-
 thousand-op plans simulate in bounded memory.
+
+Observability: when a metrics registry is active (``repro.obs.collecting``)
+or ``profile=True``, the run additionally fills a per-epoch
+:class:`~repro.obs.profile.RunProfile` (compute/DMA busy, barrier waits,
+window stalls, bytes per medium) and publishes simulator/channel/DMA
+counters.  All hooks are observation-only: the simulated timeline is
+bit-identical with observability on or off.
 """
 
 from __future__ import annotations
@@ -27,6 +34,8 @@ from ..core.plans import GemmExecution, OpKind
 from ..errors import SimulationError
 from ..hw.cluster import ClusterSim
 from ..hw.event_sim import Event, Simulator
+from ..obs import MetricsRegistry, RunProfile
+from ..obs.registry import current as _obs_current
 from .trace import TraceRecorder
 
 #: max op processes spawned ahead of the oldest incomplete one, per core.
@@ -51,6 +60,8 @@ class TimedResult:
     #: run_timed(record_bandwidth=True)); the paper's "actual bandwidth
     #: below theoretical" quantity
     ddr_utilization: float | None = None
+    #: per-epoch busy-time accounting; set when profiling was enabled
+    profile: RunProfile | None = None
 
     @property
     def gflops(self) -> float:
@@ -67,6 +78,8 @@ def run_timed(
     trace: TraceRecorder | None = None,
     *,
     record_bandwidth: bool = False,
+    metrics: MetricsRegistry | None = None,
+    profile: bool = False,
 ) -> TimedResult:
     """Simulate the plan and return elapsed time + utilization stats.
 
@@ -75,10 +88,19 @@ def run_timed(
     ``record_bandwidth=True`` additionally samples the DDR channel's
     aggregate draw and reports its time-average against the theoretical
     port.
+
+    ``metrics`` (default: the ambient registry from
+    :func:`repro.obs.collecting`, if any) receives simulator, channel and
+    DMA-engine counters; ``profile=True`` — implied by an active registry —
+    attaches a per-epoch :class:`~repro.obs.profile.RunProfile` to the
+    result for bottleneck attribution.
     """
+    if metrics is None:
+        metrics = _obs_current()
     cluster = ClusterSim(execution.cluster, record_bandwidth=record_bandwidth)
     sim = cluster.sim
     n_cores = execution.cluster.n_cores
+    prof = RunProfile(n_cores=n_cores) if (profile or metrics is not None) else None
 
     # barrier plumbing: per sync id, one arrival event per core and a done
     # event that fires barrier_cycles + sync_seconds after the last arrival
@@ -90,10 +112,12 @@ def run_timed(
 
     barrier_s = execution.cluster.barrier_cycles / execution.cluster.core.clock_hz
     sync_seconds: dict[int, float] = {}
+    sync_tags: dict[int, str] = {}
     for core_ops in execution.core_ops:
         for op in core_ops:
             if op.kind is OpKind.SYNC:
                 sync_seconds[op.sync_id] = op.sync_seconds
+                sync_tags.setdefault(op.sync_id, op.tag)
 
     for sid in range(execution.n_syncs):
         def _arm(sid: int = sid) -> None:
@@ -106,23 +130,37 @@ def run_timed(
             gathered.wait(_fire)
 
         _arm()
+        if prof is not None:
+            # each sync completion closes an epoch at the global timeline
+            done[sid].wait(
+                lambda _ev, sid=sid: prof.close_epoch(
+                    sid, sim.now, sync_tags.get(sid, "")
+                )
+            )
 
     clock = execution.cluster.core.clock_hz
 
-    def dma_proc(core: int, op, dep_events: list[Event]):
+    def dma_proc(core: int, op, dep_events: list[Event], epoch: int):
         if dep_events:
             yield sim.all_of(dep_events)
         start = sim.now
         yield cluster.cores[core].dma.issue(op.desc)
+        if prof is not None:
+            prof.add_dma(
+                epoch, core, start, sim.now,
+                op.desc.medium.value, op.desc.nbytes,
+            )
         if trace is not None:
             trace.add(f"core{core}/dma", op.tag or "dma", start, sim.now, "dma")
 
-    def kernel_proc(core: int, op, dep_events: list[Event]):
+    def kernel_proc(core: int, op, dep_events: list[Event], epoch: int):
         if dep_events:
             yield sim.all_of(dep_events)
         yield cluster.cores[core].run_kernel(op.cycles, tag=op.tag)
+        duration = op.cycles / clock
+        if prof is not None:
+            prof.add_compute(epoch, core, duration)
         if trace is not None:
-            duration = op.cycles / clock
             trace.add(
                 f"core{core}/compute", op.tag or "kernel",
                 sim.now - duration, sim.now, "kernel",
@@ -130,11 +168,17 @@ def run_timed(
 
     def walk(core: int, ops):
         events: list[Event | None] = [None] * len(ops)
+        epoch = 0
         for idx, op in enumerate(ops):
             if idx >= _WINDOW:
                 old = events[idx - _WINDOW]
                 if old is not None and not old.triggered:
-                    yield old
+                    if prof is not None:
+                        stall_t0 = sim.now
+                        yield old
+                        prof.add_window_stall(epoch, core, sim.now - stall_t0)
+                    else:
+                        yield old
             if op.kind is OpKind.SYNC:
                 prior = [e for e in events[:idx] if e is not None and not e.triggered]
                 if prior:
@@ -142,21 +186,26 @@ def run_timed(
                 arrival_t = sim.now
                 arrivals[op.sync_id][core].succeed()
                 yield done[op.sync_id]
+                if prof is not None:
+                    prof.add_sync_wait(epoch, core, sim.now - arrival_t)
                 if trace is not None and core == 0:
                     trace.add(
                         "cluster/sync", op.tag or f"sync{op.sync_id}",
                         arrival_t, sim.now, "sync",
                     )
                 events[idx] = done[op.sync_id]
+                epoch += 1
                 continue
             deps = [events[d] for d in op.deps]
             if any(e is None for e in deps):
                 raise SimulationError(f"op {idx} on core {core} has unresolved dep")
             if op.kind is OpKind.DMA:
-                events[idx] = sim.process(dma_proc(core, op, deps), f"dma{core}.{idx}")
+                events[idx] = sim.process(
+                    dma_proc(core, op, deps, epoch), f"dma{core}.{idx}"
+                )
             else:
                 events[idx] = sim.process(
-                    kernel_proc(core, op, deps), f"k{core}.{idx}"
+                    kernel_proc(core, op, deps, epoch), f"k{core}.{idx}"
                 )
         remaining = [e for e in events if e is not None and not e.triggered]
         if remaining:
@@ -173,6 +222,11 @@ def run_timed(
             raise SimulationError(
                 "plan deadlocked: a core never finished its op stream"
             )
+
+    if prof is not None:
+        prof.finish(sim.now)
+    if metrics is not None:
+        _publish_metrics(metrics, sim, cluster, prof)
 
     # per-precision peak: the plan's dtype sets lanes per register
     plan = execution.meta.get("plan")
@@ -199,4 +253,50 @@ def run_timed(
         core_busy=[c.busy_time for c in cluster.cores],
         ddr_mean_concurrency=cluster.ddr_channel.stats.mean_concurrency(),
         ddr_utilization=utilization,
+        profile=prof,
     )
+
+
+def _publish_metrics(
+    m: MetricsRegistry,
+    sim: Simulator,
+    cluster: ClusterSim,
+    prof: RunProfile | None,
+) -> None:
+    """Copy one run's simulator/channel/DMA statistics into the registry.
+
+    Counters accumulate across runs under the same registry (e.g. the DES
+    validation passes of the autotuner); gauges keep their high-water mark.
+    """
+    m.counter("sim/events_processed").inc(sim.events_processed)
+    m.counter("sim/process_wakeups").inc(sim.process_wakeups)
+    m.gauge("sim/heap_peak").set(sim.heap_peak)
+
+    for name, channel in (("ddr", cluster.ddr_channel), ("gsm", cluster.gsm_channel)):
+        stats = channel.stats
+        m.counter(f"bw/{name}/bytes_served").inc(stats.bytes_served)
+        m.counter(f"bw/{name}/busy_s").inc(stats.busy_time)
+        m.counter(f"bw/{name}/contended_s").inc(stats.contended_time)
+        m.counter(f"bw/{name}/stall_flow_s").inc(stats.stall_flow_seconds)
+        m.gauge(f"bw/{name}/mean_concurrency").set(stats.mean_concurrency())
+
+    queue_depth_peak = 0
+    for core in cluster.cores:
+        m.distribution("exec/core_busy_s").add(core.busy_time)
+        m.counter("exec/compute_cycles").inc(core.compute_cycles)
+        engine = core.dma
+        m.counter("dma/transfers").inc(engine.transfers)
+        m.counter("dma/queue_wait_s").inc(engine.queue_wait_s)
+        queue_depth_peak = max(queue_depth_peak, engine.queue_depth_peak)
+        for medium, nbytes in engine.bytes_by_medium.items():
+            m.counter(f"dma/bytes/{medium}").inc(nbytes)
+    m.gauge("dma/queue_depth_peak").set(queue_depth_peak)
+
+    if prof is not None:
+        m.gauge("exec/epochs").set(len(prof.epochs))
+        m.counter("exec/sync_wait_s").inc(
+            sum(sum(ep.sync_wait) for ep in prof.epochs)
+        )
+        m.counter("exec/window_stall_s").inc(
+            sum(sum(ep.window_stall) for ep in prof.epochs)
+        )

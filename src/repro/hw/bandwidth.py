@@ -38,9 +38,18 @@ class ChannelStats:
     flows_completed: int = 0
     busy_time: float = 0.0
     weighted_concurrency: float = 0.0  # integral of n_active dt
+    #: busy time during which >1 flow shared the port (contention)
+    contended_time: float = 0.0
+    #: integral of (n_active - 1) dt — flow-seconds spent stalled behind
+    #: other flows; the "contention stall" measure of the perf report
+    stall_flow_seconds: float = 0.0
 
     def mean_concurrency(self) -> float:
         return self.weighted_concurrency / self.busy_time if self.busy_time else 0.0
+
+    def contended_fraction(self, until: float) -> float:
+        """Share of the whole run during which the port was contended."""
+        return self.contended_time / until if until > 0 else 0.0
 
 
 class SharedChannel:
@@ -135,6 +144,9 @@ class SharedChannel:
         served = dt * rate
         self.stats.busy_time += dt
         self.stats.weighted_concurrency += n * dt
+        if n > 1:
+            self.stats.contended_time += dt
+            self.stats.stall_flow_seconds += (n - 1) * dt
         finished: list[_Flow] = []
         for flow in self._flows:
             flow.remaining -= served

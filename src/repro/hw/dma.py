@@ -117,19 +117,35 @@ class DmaEngine:
         self.startup_s = dma_cfg.startup_cycles / core_cfg.clock_hz
         self.bytes_moved = 0
         self.transfers = 0
+        # observation-only accounting (never feeds back into timing):
+        #: total seconds descriptors waited for a free engine channel
+        self.queue_wait_s = 0.0
+        #: high-water mark of descriptors queued behind the channels
+        self.queue_depth_peak = 0
+        #: payload bytes moved, keyed by medium value ("ddr", "gsm", "am")
+        self.bytes_by_medium: dict[str, int] = {}
 
     def issue(self, desc: DmaDescriptor) -> Event:
         """Start a transfer; returns the event that fires at completion."""
         return self.sim.process(self._run(desc), name=f"dma{self.core_id}:{desc.tag}")
 
     def _run(self, desc: DmaDescriptor):
+        queued = self.slots.queued
+        if queued + 1 > self.queue_depth_peak and self.slots.in_use >= self.slots.capacity:
+            self.queue_depth_peak = queued + 1
+        t_request = self.sim.now
         yield self.slots.request()
+        self.queue_wait_s += self.sim.now - t_request
         try:
             if desc.nbytes > 0:
                 yield self.sim.timeout(self.startup_s)
                 channel = self.channels[desc.medium]
                 yield channel.transfer(desc.effective_bytes(self.cfg), tag=desc.tag)
                 self.bytes_moved += desc.nbytes
+                medium = desc.medium.value
+                self.bytes_by_medium[medium] = (
+                    self.bytes_by_medium.get(medium, 0) + desc.nbytes
+                )
             self.transfers += 1
         finally:
             self.slots.release()

@@ -94,6 +94,7 @@ class Process(Event):
         sim._schedule_at(sim.now, start, None)
 
     def _resume(self, event: Event) -> None:
+        self.sim._wakeups += 1
         try:
             target = self._gen.send(event.value)
         except StopIteration as stop:
@@ -139,6 +140,8 @@ class Simulator:
         self._heap: list[tuple[float, int, Event, Any]] = []
         self._seq = 0
         self._processed = 0
+        self._heap_peak = 0
+        self._wakeups = 0
 
     # -- factory helpers ---------------------------------------------------
 
@@ -163,6 +166,8 @@ class Simulator:
             )
         self._seq += 1
         heapq.heappush(self._heap, (when, self._seq, event, value))
+        if len(self._heap) > self._heap_peak:
+            self._heap_peak = len(self._heap)
 
     def run(self, until: float | None = None, max_events: int = 50_000_000) -> float:
         """Run until the heap drains (or simulated time passes ``until``).
@@ -189,6 +194,16 @@ class Simulator:
     @property
     def events_processed(self) -> int:
         return self._processed
+
+    @property
+    def heap_peak(self) -> int:
+        """High-water mark of the pending-event heap."""
+        return self._heap_peak
+
+    @property
+    def process_wakeups(self) -> int:
+        """Times any process generator was resumed."""
+        return self._wakeups
 
 
 class Resource:

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ScheduleError
+from ..obs.registry import current as _obs_current
 from .instructions import Instr
 from .program import DepEdge, build_dependences, recurrence_mii
 from .units import DEFAULT_UNITS, UnitClass, UnitFile
@@ -246,11 +247,31 @@ def schedule_loop(
         times, assignments = result
         sched = Schedule(body, times, assignments, ii, edges, units)
         verify_schedule(sched, latencies)
+        _record_schedule_metrics(sched, mii)
         return sched
     raise ScheduleError(
         f"no schedule found for {len(body)} instructions within "
         f"II <= {mii + max_ii_slack}"
     )
+
+
+def _record_schedule_metrics(sched: Schedule, mii: int) -> None:
+    """Publish II achieved vs. lower bound and per-unit slot occupancy.
+
+    No-op unless a metrics registry is active (``repro.obs.collecting``).
+    """
+    m = _obs_current()
+    if m is None:
+        return
+    m.counter("isa/loops_scheduled").inc()
+    m.distribution("isa/ii").add(sched.ii)
+    m.distribution("isa/ii_slack").add(sched.ii - mii)
+    usage: dict[UnitClass, int] = {}
+    for instr in sched.instrs:
+        usage[instr.unit] = usage.get(instr.unit, 0) + 1
+    for cls, count in usage.items():
+        slots = sched.ii * sched.units.count(cls)
+        m.distribution(f"isa/occupancy/{cls.value}").add(count / slots)
 
 
 def schedule_straightline(

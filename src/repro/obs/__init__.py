@@ -1,0 +1,56 @@
+"""Unified observability layer: metrics, profiling scopes, run-logs.
+
+Three pieces, deliberately dependency-free (only :mod:`repro.errors`):
+
+* :mod:`repro.obs.registry` — hierarchical :class:`MetricsRegistry`
+  (counters, gauges, distributions, timers), the ambient
+  :func:`collecting` context that turns instrumentation on, and
+  :class:`ProfileScope` wall-clock scopes.
+* :mod:`repro.obs.profile` — :class:`RunProfile`, the per-epoch busy-time
+  accounting the timed executor fills in, consumed by
+  :mod:`repro.analysis.bottleneck`.
+* :mod:`repro.obs.runlog` — versioned JSONL run-log records.
+
+Everything is off by default: with no ambient registry the hooks reduce
+to one global read, and simulated results are bit-identical with
+observability on or off (a test asserts this).
+"""
+
+from .profile import EpochProfile, RunProfile
+from .registry import (
+    Counter,
+    Distribution,
+    Gauge,
+    MetricsRegistry,
+    ProfileScope,
+    Timer,
+    collecting,
+    current,
+    set_registry,
+)
+from .runlog import (
+    SCHEMA,
+    append_record,
+    last_matching,
+    make_record,
+    read_records,
+)
+
+__all__ = [
+    "Counter",
+    "Distribution",
+    "EpochProfile",
+    "Gauge",
+    "MetricsRegistry",
+    "ProfileScope",
+    "RunProfile",
+    "SCHEMA",
+    "Timer",
+    "append_record",
+    "collecting",
+    "current",
+    "last_matching",
+    "make_record",
+    "read_records",
+    "set_registry",
+]

@@ -1,0 +1,268 @@
+"""Hierarchical metrics registry with a zero-cost disabled default.
+
+Four instrument kinds, named by "/"-separated hierarchical paths
+(``"bw/ddr/bytes_served"``, ``"isa/occupancy/vfmac"``):
+
+* :class:`Counter` — monotonically accumulating value (events, bytes).
+* :class:`Gauge` — last-set value plus its high-water mark (heap depth).
+* :class:`Distribution` — count/total/min/max of observed samples
+  (DMA queue waits, achieved IIs).
+* :class:`Timer` — a Distribution of wall-clock durations with a
+  ``time()`` context manager.
+
+Instrumented code never checks a flag: it asks the *ambient* registry via
+:func:`current`, which is ``None`` unless a collection context is active.
+Hooks are written as ``m = current(); if m is not None: ...`` so the
+disabled path costs one global read — model outputs are bit-identical
+either way (verified by a test).  Collection is opted into with::
+
+    with collecting() as reg:
+        result = ftimm_gemm(...)
+    print(reg.to_json())
+
+Snapshots round-trip through JSON (:meth:`MetricsRegistry.to_json` /
+:meth:`MetricsRegistry.from_json`), which is what the JSONL run-log
+stores.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from ..errors import ReproError
+
+
+class Counter:
+    """Monotonic accumulator (int or float increments)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-set value; also tracks the high-water mark since creation."""
+
+    __slots__ = ("name", "value", "high")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+        self.high: float = 0
+
+    def set(self, v: float) -> None:
+        self.value = v
+        if v > self.high:
+            self.high = v
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value, "high": self.high}
+
+
+class Distribution:
+    """Streaming count/total/min/max summary of observed samples."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: float = math.inf
+        self.max: float = -math.inf
+
+    def add(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "distribution",
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class Timer(Distribution):
+    """Distribution of wall-clock durations, in seconds."""
+
+    __slots__ = ()
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(time.perf_counter() - t0)
+
+    def snapshot(self) -> dict[str, Any]:
+        snap = super().snapshot()
+        snap["type"] = "timer"
+        return snap
+
+
+_KINDS = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "distribution": Distribution,
+    "timer": Timer,
+}
+
+
+class MetricsRegistry:
+    """Name -> instrument map; instruments are created on first use.
+
+    A name is bound to exactly one instrument kind for the registry's
+    lifetime; asking for the same name with a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Distribution | Timer] = {}
+
+    def _get(self, name: str, cls):
+        inst = self._metrics.get(name)
+        if inst is None:
+            inst = cls(name)
+            self._metrics[name] = inst
+        elif type(inst) is not cls:
+            raise ReproError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, requested {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def distribution(self, name: str) -> Distribution:
+        return self._get(name, Distribution)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self, prefix: str = "") -> list[str]:
+        return sorted(n for n in self._metrics if n.startswith(prefix))
+
+    # -- serialization -----------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-able ``{name: {"type": ..., ...}}``, sorted by name."""
+        return {name: self._metrics[name].snapshot() for name in self.names()}
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_snapshot(cls, snap: dict[str, dict[str, Any]]) -> "MetricsRegistry":
+        reg = cls()
+        for name, payload in snap.items():
+            kind = payload.get("type")
+            if kind not in _KINDS:
+                raise ReproError(f"unknown metric type {kind!r} for {name!r}")
+            inst = reg._get(name, _KINDS[kind])
+            if kind == "counter":
+                inst.inc(payload["value"])
+            elif kind == "gauge":
+                inst.set(payload["high"])
+                inst.set(payload["value"])
+            else:
+                inst.count = int(payload["count"])
+                inst.total = float(payload["total"])
+                inst.min = payload["min"] if payload["min"] is not None else math.inf
+                inst.max = payload["max"] if payload["max"] is not None else -math.inf
+        return reg
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsRegistry":
+        return cls.from_snapshot(json.loads(text))
+
+
+#: the ambient registry; ``None`` means observability is disabled.
+_current: MetricsRegistry | None = None
+
+
+def current() -> MetricsRegistry | None:
+    """The active registry, or ``None`` when collection is off (default)."""
+    return _current
+
+
+def set_registry(reg: MetricsRegistry | None) -> MetricsRegistry | None:
+    """Install ``reg`` as the ambient registry; returns the previous one."""
+    global _current
+    prev = _current
+    _current = reg
+    return prev
+
+
+@contextmanager
+def collecting(reg: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Enable metrics collection for the dynamic extent of the block."""
+    reg = reg if reg is not None else MetricsRegistry()
+    prev = set_registry(reg)
+    try:
+        yield reg
+    finally:
+        set_registry(prev)
+
+
+class ProfileScope:
+    """Wall-clock timer scope: records into ``<name>`` on the registry.
+
+    No-op (and allocation-free beyond the object) when no registry is
+    active and none is given::
+
+        with ProfileScope("tuner/search_wall_s"):
+            candidates = enumerate_and_score(...)
+    """
+
+    __slots__ = ("name", "_reg", "_t0", "elapsed")
+
+    def __init__(self, name: str, registry: MetricsRegistry | None = None) -> None:
+        self.name = name
+        self._reg = registry
+        self._t0 = 0.0
+        self.elapsed: float | None = None
+
+    def __enter__(self) -> "ProfileScope":
+        if self._reg is None:
+            self._reg = current()
+        if self._reg is not None:
+            self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._reg is not None:
+            self.elapsed = time.perf_counter() - self._t0
+            self._reg.timer(self.name).add(self.elapsed)

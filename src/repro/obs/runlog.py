@@ -1,0 +1,101 @@
+"""Structured JSONL run-log.
+
+One line per profiled run, written by ``repro perf`` (and available as a
+library API).  Each record is self-contained JSON::
+
+    {"schema": "repro-perf/1", "ts": 1754..., "shape": "64x4096x4096",
+     "impl": "ftimm", "strategy": "tgemm", "cores": 8,
+     "seconds": ..., "gflops": ..., "efficiency": ...,
+     "bound": "ddr", "epochs": [...],      # bottleneck attribution
+     "profile": {...},                     # RunProfile.to_dict()
+     "metrics": {...}}                     # MetricsRegistry.snapshot()
+
+The schema string is versioned so future layout changes stay detectable;
+:func:`read_records` skips records from other schemas rather than failing,
+so logs survive upgrades.  See docs/OBSERVABILITY.md for the field-by-field
+description.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from ..errors import ReproError
+
+SCHEMA = "repro-perf/1"
+
+
+def make_record(
+    *,
+    shape: str,
+    impl: str,
+    strategy: str,
+    cores: int,
+    seconds: float,
+    gflops: float,
+    efficiency: float,
+    bound: str,
+    epochs: list[dict[str, Any]] | None = None,
+    profile: dict[str, Any] | None = None,
+    metrics: dict[str, Any] | None = None,
+    timestamp: float | None = None,
+) -> dict[str, Any]:
+    """Assemble one schema-conforming run-log record."""
+    return {
+        "schema": SCHEMA,
+        "ts": time.time() if timestamp is None else timestamp,
+        "shape": shape,
+        "impl": impl,
+        "strategy": strategy,
+        "cores": cores,
+        "seconds": seconds,
+        "gflops": gflops,
+        "efficiency": efficiency,
+        "bound": bound,
+        "epochs": epochs or [],
+        "profile": profile or {},
+        "metrics": metrics or {},
+    }
+
+
+def append_record(path: str | Path, record: dict[str, Any]) -> Path:
+    """Append ``record`` as one JSON line; creates the file if missing."""
+    if "schema" not in record:
+        raise ReproError("run-log record missing 'schema'")
+    path = Path(path)
+    with path.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def read_records(path: str | Path, schema: str = SCHEMA) -> list[dict[str, Any]]:
+    """All records in the log matching ``schema``, oldest first."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{path}:{line_no}: invalid JSON ({exc})") from None
+        if record.get("schema") == schema:
+            records.append(record)
+    return records
+
+
+def last_matching(
+    records: list[dict[str, Any]], *, shape: str, impl: str, cores: int
+) -> dict[str, Any] | None:
+    """Most recent record for the same (shape, impl, cores) configuration."""
+    for record in reversed(records):
+        if (record.get("shape") == shape and record.get("impl") == impl
+                and record.get("cores") == cores):
+            return record
+    return None

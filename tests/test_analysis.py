@@ -16,7 +16,12 @@ class TestMetrics:
             gflops(GemmShape(1, 1, 1), 0.0)
 
     def test_efficiency(self):
-        assert efficiency(100.0, 200e9) == pytest.approx(0.5)
+        # both arguments in FLOP/s (the unit asymmetry fix)
+        assert efficiency(100e9, 200e9) == pytest.approx(0.5)
+
+    def test_efficiency_unit_symmetry(self):
+        # scaling both arguments by the same factor changes nothing
+        assert efficiency(1e9, 4e9) == pytest.approx(efficiency(1.0, 4.0))
 
     def test_speedup(self):
         assert speedup(2.0, 1.0) == pytest.approx(2.0)

@@ -138,3 +138,120 @@ class TestNewFlags:
     def test_experiment_hetero(self, capsys):
         assert main(["experiment", "hetero"]) == 0
         assert "co-execution" in capsys.readouterr().out
+
+
+class TestTraceInvariants:
+    def run_traced(self):
+        from repro.core.ftimm import _lower
+        from repro.core.shapes import GemmShape
+        from repro.core.tuner import tune
+        from repro.executor.timed import run_timed
+        from repro.executor.trace import TraceRecorder
+        from repro.hw.config import default_machine
+        from repro.kernels.registry import registry_for
+
+        machine = default_machine()
+        shape = GemmShape(1024, 32, 64)
+        decision = tune(shape, machine.cluster)
+        lowered = _lower(
+            shape, machine.cluster, decision, None,
+            registry_for(machine.cluster.core),
+        )
+        recorder = TraceRecorder()
+        run_timed(lowered, trace=recorder)
+        return recorder
+
+    def test_span_times_non_negative(self):
+        recorder = self.run_traced()
+        assert recorder.spans
+        for span in recorder.spans:
+            assert span.start >= 0.0
+            assert span.duration >= 0.0
+
+    def test_compute_rows_have_no_overlap(self):
+        # a core's compute pipeline runs one kernel at a time: consecutive
+        # spans on any */compute row must not overlap
+        recorder = self.run_traced()
+        by_row = {}
+        for span in recorder.spans:
+            if span.row.endswith("/compute"):
+                by_row.setdefault(span.row, []).append(span)
+        assert by_row
+        for row, spans in by_row.items():
+            spans.sort(key=lambda s: s.start)
+            for prev, cur in zip(spans, spans[1:]):
+                assert cur.start >= prev.end - 1e-12, row
+
+    def test_summary_utilization_bounded(self):
+        recorder = self.run_traced()
+        for summary in recorder.summarize():
+            assert summary.busy >= 0.0
+            assert summary.utilization <= 1.0 + 1e-9
+
+
+class TestPerfCommand:
+    SHAPE = "64x4096x4096"
+
+    def test_perf_end_to_end(self, capsys, tmp_path):
+        runlog = tmp_path / "runs.jsonl"
+        assert main(["perf", "--shape", self.SHAPE,
+                     "--runlog", str(runlog)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out
+        assert "epoch" in out
+        assert "roofline" in out
+        lines = runlog.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["schema"] == "repro-perf/1"
+        assert record["shape"] == "64x4096x4096"
+        assert record["profile"]["epochs"]
+        assert record["metrics"]
+
+    def test_perf_compare_diffs_previous_run(self, capsys, tmp_path):
+        runlog = tmp_path / "runs.jsonl"
+        assert main(["perf", "--shape", self.SHAPE,
+                     "--runlog", str(runlog)]) == 0
+        capsys.readouterr()
+        assert main(["perf", "--shape", self.SHAPE,
+                     "--runlog", str(runlog), "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "compare:" in out
+        assert "seconds" in out
+        assert len(runlog.read_text().splitlines()) == 2
+
+    def test_perf_compare_without_history(self, capsys, tmp_path):
+        runlog = tmp_path / "runs.jsonl"
+        assert main(["perf", "--shape", "512x32x256",
+                     "--runlog", str(runlog), "--compare"]) == 0
+        assert "no earlier" in capsys.readouterr().out
+
+    def test_perf_metrics_dump(self, capsys, tmp_path):
+        runlog = tmp_path / "runs.jsonl"
+        assert main(["perf", "--shape", "512x32x256",
+                     "--runlog", str(runlog), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert any(name.startswith("sim/") for name in payload)
+
+    def test_perf_tgemm_impl(self, capsys, tmp_path):
+        runlog = tmp_path / "runs.jsonl"
+        assert main(["perf", "--shape", "512x32x256", "--impl", "tgemm",
+                     "--runlog", str(runlog)]) == 0
+        assert "tgemm" in capsys.readouterr().out
+
+    def test_gemm_perf_flag(self, capsys):
+        assert main(["gemm", "1024x32x64", "--impl", "ftimm",
+                     "--timing", "des", "--perf"]) == 0
+        assert "verdict" in capsys.readouterr().out
+
+    def test_gemm_trace_prints_row_utilization(self, capsys, tmp_path):
+        trace_file = tmp_path / "t.json"
+        assert main(["gemm", "1024x32x64", "--impl", "ftimm",
+                     "--timing", "des", "--trace", str(trace_file),
+                     "--perf"]) == 0
+        out = capsys.readouterr().out
+        # one DES run feeds the timeline, the row-utilization summary
+        # table, and the bottleneck report
+        assert "util" in out
+        assert "verdict" in out
