@@ -1,0 +1,187 @@
+"""Before/after instrumentation for the fast-execution-engine PR.
+
+Measures the two reference workloads the PR targets and writes
+``BENCH_PR2.json`` at the repo root:
+
+1. **Functional GEMM** (512x32x512, ISA-fidelity execution): wall-clock of
+   ``ftimm_gemm(..., kernel_exec="interp")`` — the pre-PR reference
+   interpreter — against ``kernel_exec="compiled"``, the trace-compiled
+   path this PR adds.  Results are checked bit-identical.
+
+2. **Autotune plan search** (2048x32x2048): wall-clock of the pre-PR
+   configuration — serial scoring, no persistent kernel cache — against
+   the new engine: ``jobs>1`` worker fan-out with a warm on-disk kernel
+   cache.  Results are checked identical (same best plan, same rule plan).
+
+Each measurement is also recorded in the PR-1 run-log schema
+(:mod:`repro.obs.runlog`), so ``read_records``/``diff_records`` work on
+the file's ``records`` list, and the current commit is stamped in.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pr2.py [-o BENCH_PR2.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.autotune import autotune
+from repro.core.ftimm import ftimm_gemm
+from repro.core.shapes import GemmShape
+from repro.hw.config import default_machine
+from repro.kernels.registry import KernelDiskCache, KernelRegistry
+from repro.obs import make_record
+from repro.workloads.generators import random_operands
+
+GEMM_SHAPE = GemmShape(512, 32, 1024)
+TUNE_SHAPE = GemmShape(2048, 32, 2048)
+REQUIRED_SPEEDUP = 3.0
+
+
+def _git_head() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _record(shape: GemmShape, impl: str, strategy: str, seconds: float) -> dict:
+    cluster = default_machine().cluster
+    return make_record(
+        shape=f"{shape.m}x{shape.n}x{shape.k}",
+        impl=impl,
+        strategy=strategy,
+        cores=cluster.n_cores,
+        seconds=seconds,
+        gflops=2.0 * shape.m * shape.n * shape.k / seconds / 1e9,
+        efficiency=0.0,          # host wall-clock, not modeled DSP time
+        bound="wallclock",
+    )
+
+
+def bench_gemm() -> tuple[dict, list[dict]]:
+    a, b, c0 = random_operands(GEMM_SHAPE, seed=0)
+    results = {}
+    records = []
+    outputs = {}
+    for mode in ("interp", "compiled"):
+        c = c0.copy()
+        t0 = time.perf_counter()
+        ftimm_gemm(
+            GEMM_SHAPE.m, GEMM_SHAPE.n, GEMM_SHAPE.k,
+            a=a, b=b, c=c, timing="none", kernel_exec=mode,
+        )
+        seconds = time.perf_counter() - t0
+        results[mode] = seconds
+        outputs[mode] = c
+        records.append(_record(GEMM_SHAPE, f"ftimm/{mode}", "m", seconds))
+        print(f"  gemm {mode:8s} {seconds:8.3f} s")
+    if not np.array_equal(outputs["interp"], outputs["compiled"]):
+        raise SystemExit("FAIL: compiled GEMM diverges from the interpreter")
+    results["speedup"] = results["interp"] / results["compiled"]
+    return results, records
+
+
+def bench_autotune(jobs: int) -> tuple[dict, list[dict]]:
+    cluster = default_machine().cluster
+    results = {}
+    records = []
+
+    # pre-PR configuration: serial scoring, no kernel cache anywhere
+    t0 = time.perf_counter()
+    before = autotune(
+        TUNE_SHAPE, cluster,
+        KernelRegistry(cluster.core, disk=False), jobs=1,
+    )
+    results["serial_nocache_s"] = time.perf_counter() - t0
+    records.append(
+        _record(TUNE_SHAPE, "autotune/serial-nocache", before.best.strategy,
+                results["serial_nocache_s"])
+    )
+    print(f"  autotune serial/no-cache {results['serial_nocache_s']:8.3f} s")
+
+    # new engine: parallel scoring over a warm persistent kernel cache
+    with tempfile.TemporaryDirectory(prefix="repro-kcache-") as tmp:
+        disk = KernelDiskCache(Path(tmp))
+        t0 = time.perf_counter()
+        autotune(TUNE_SHAPE, cluster, KernelRegistry(cluster.core, disk=disk),
+                 jobs=1)
+        results["cache_warmup_s"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        after = autotune(TUNE_SHAPE, cluster,
+                         KernelRegistry(cluster.core, disk=disk), jobs=jobs)
+        results["parallel_warm_s"] = time.perf_counter() - t0
+    records.append(
+        _record(TUNE_SHAPE, f"autotune/jobs{jobs}-warm", after.best.strategy,
+                results["parallel_warm_s"])
+    )
+    print(f"  autotune jobs={jobs}/warm   {results['parallel_warm_s']:8.3f} s")
+
+    if (before.best.label, before.rule.label) != (
+        after.best.label, after.rule.label
+    ):
+        raise SystemExit("FAIL: parallel autotune picked a different plan")
+    results["speedup"] = (
+        results["serial_nocache_s"] / results["parallel_warm_s"]
+    )
+    results["best"] = after.best.label
+    results["n_candidates"] = after.n_candidates
+    results["jobs"] = jobs
+    return results, records
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR2.json"),
+    )
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args(argv[1:])
+
+    print("reference workloads (host wall-clock):")
+    gemm, gemm_records = bench_gemm()
+    tune, tune_records = bench_autotune(args.jobs)
+
+    total_before = gemm["interp"] + tune["serial_nocache_s"]
+    total_after = gemm["compiled"] + tune["parallel_warm_s"]
+    overall = total_before / total_after
+    payload = {
+        "commit": _git_head(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "overall_speedup": overall,
+        "functional_gemm": {
+            "shape": f"{GEMM_SHAPE.m}x{GEMM_SHAPE.n}x{GEMM_SHAPE.k}",
+            **gemm,
+        },
+        "autotune": {
+            "shape": f"{TUNE_SHAPE.m}x{TUNE_SHAPE.n}x{TUNE_SHAPE.k}",
+            **tune,
+        },
+        "records": gemm_records + tune_records,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"overall: {total_before:.3f} s -> {total_after:.3f} s "
+          f"({overall:.1f}x); wrote {args.output}")
+    if overall < REQUIRED_SPEEDUP:
+        print(f"FAIL: overall speedup below {REQUIRED_SPEEDUP}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,64 @@
+"""CI perf smoke: the trace-compiled kernel path must beat the interpreter.
+
+Runs the reference functional workload (512x32x512, the shape the CI
+perf-report smoke already uses) once with ``kernel_exec="interp"`` and
+once with ``kernel_exec="compiled"``, checks the two produce bit-identical
+results, and **fails (exit 1) if the compiled path is not faster** — the
+guard that keeps a regression in :mod:`repro.isa.compile` (e.g. a new
+generator idiom silently falling back to the interpreter) from landing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [MxNxK]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core.ftimm import ftimm_gemm
+from repro.core.shapes import GemmShape
+from repro.workloads.generators import random_operands
+
+
+def timed_run(shape: GemmShape, kernel_exec: str) -> tuple[float, np.ndarray]:
+    a, b, c0 = random_operands(shape, seed=0)
+    c = c0.copy()
+    t0 = time.perf_counter()
+    ftimm_gemm(
+        shape.m, shape.n, shape.k, a=a, b=b, c=c,
+        timing="none", kernel_exec=kernel_exec,
+    )
+    return time.perf_counter() - t0, c
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        m, n, k = (int(x) for x in argv[1].lower().split("x"))
+        shape = GemmShape(m, n, k)
+    else:
+        shape = GemmShape(512, 32, 512)
+
+    interp_s, c_interp = timed_run(shape, "interp")
+    compiled_s, c_compiled = timed_run(shape, "compiled")
+    speedup = interp_s / compiled_s if compiled_s > 0 else float("inf")
+
+    print(f"perf smoke on {shape.m}x{shape.n}x{shape.k}:")
+    print(f"  interp   {interp_s:8.3f} s")
+    print(f"  compiled {compiled_s:8.3f} s   ({speedup:.1f}x)")
+
+    if not np.array_equal(c_interp, c_compiled):
+        print("FAIL: compiled result differs from the interpreter")
+        return 1
+    if compiled_s >= interp_s:
+        print("FAIL: compiled path is not faster than the interpreter")
+        return 1
+    print("OK: compiled path is bit-identical and faster")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,8 +4,10 @@
 
     python -m repro gemm 20480x32x20480 [--impl ftimm|tgemm|both]
                                         [--cores N] [--timing MODE]
-                                        [--verify] [--trace out.json] [--perf]
+                                        [--verify] [--kernel-exec MODE]
+                                        [--trace out.json] [--perf]
     python -m repro perf --shape MxNxK [--runlog runs.jsonl] [--compare]
+    python -m repro autotune MxNxK [--jobs N] [--no-validate]
     python -m repro kernel M N K [--table] [--asm] [--tgemm]
     python -m repro classify MxNxK
     python -m repro experiment fig3|fig4|fig5|fig6|fig7|tables|all
@@ -71,7 +73,10 @@ def _cmd_gemm(args: argparse.Namespace) -> int:
         impls = [i for i in impls if i == "ftimm"]  # no FP64 baseline
     for impl in impls:
         fn = ftimm_gemm if impl == "ftimm" else tgemm_gemm
-        kwargs = dict(cores=args.cores, timing=args.timing)
+        kwargs = dict(
+            cores=args.cores, timing=args.timing,
+            kernel_exec=args.kernel_exec,
+        )
         if impl == "ftimm" and args.dtype != "f32":
             kwargs["dtype"] = args.dtype
         if args.verify:
@@ -211,6 +216,18 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     report = attribute(result, shape, cluster, impl=args.impl)
     print(report.render())
 
+    cache_counts = {
+        name.rsplit("/", 1)[-1]: int(snap["value"])
+        for name, snap in reg.snapshot().items()
+        if name.startswith("kernels/cache/")
+    }
+    if cache_counts:
+        print()
+        print(
+            "kernel cache: "
+            + "  ".join(f"{k}={v}" for k, v in sorted(cache_counts.items()))
+        )
+
     record = make_record(
         **report.to_record_fields(),
         profile=result.profile.to_dict(),
@@ -230,6 +247,34 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     print(f"run-log: {args.runlog} ({len(earlier) + 1} records)")
     if args.metrics:
         print(reg.to_json(indent=1))
+    return 0
+
+
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    from .core.autotune import autotune
+    from .obs import collecting
+
+    m, n, k = args.shape
+    shape = GemmShape(m, n, k)
+    cluster = default_machine().cluster
+    if args.cores:
+        cluster = cluster.with_cores(args.cores)
+    validate_top = 0 if args.no_validate else args.validate_top
+    with collecting() as reg:
+        result = autotune(
+            shape, cluster, validate_top=validate_top, jobs=args.jobs
+        )
+    print(f"shape {shape}: searched {result.n_candidates} candidates")
+    print(f"  best: {result.best.label}  "
+          f"{result.best.seconds * 1e6:.1f} us"
+          f"{' (DES-validated)' if result.best.validated else ''}")
+    print(f"  rule: {result.rule.label}  "
+          f"{result.rule.seconds * 1e6:.1f} us")
+    print(f"  rule/best: {result.improvement:.3f}x")
+    for name in reg.names("tuner/"):
+        snap = reg.snapshot()[name]
+        if snap["type"] == "timer":
+            print(f"  {name}: {snap['total']:.3f} s")
     return 0
 
 
@@ -304,6 +349,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_gemm.add_argument("--dtype", choices=["f32", "f64"], default="f32")
     p_gemm.add_argument("--verify", action="store_true",
                         help="run functionally on random operands and check")
+    p_gemm.add_argument("--kernel-exec",
+                        choices=["numpy", "compiled", "interp"],
+                        default="numpy",
+                        help="how functional kernels compute: numpy fast "
+                             "path, or the generated ISA stream "
+                             "(trace-compiled or interpreted)")
     p_gemm.add_argument("--trace", metavar="OUT.json", default=None,
                         help="write a Chrome-trace of the DES run")
     p_gemm.add_argument("--plan", action="store_true",
@@ -342,6 +393,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="the fixed TGEMM kernel instead")
     p_kernel.add_argument("--dtype", choices=["f32", "f64"], default="f32")
     p_kernel.set_defaults(fn=_cmd_kernel)
+
+    p_tune = sub.add_parser(
+        "autotune", help="search candidate plans for one shape"
+    )
+    p_tune.add_argument("shape", type=_parse_shape, help="MxNxK")
+    p_tune.add_argument("--cores", type=int, default=None)
+    p_tune.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default $REPRO_JOBS, then "
+                             "the CPU count; 1 = serial)")
+    p_tune.add_argument("--validate-top", type=int, default=3,
+                        help="DES-validate the best N candidates")
+    p_tune.add_argument("--no-validate", action="store_true",
+                        help="pure analytic search (skip DES validation)")
+    p_tune.set_defaults(fn=_cmd_autotune)
 
     p_classify = sub.add_parser("classify", help="shape taxonomy")
     p_classify.add_argument("shape", type=_parse_shape)

@@ -38,6 +38,7 @@ from ..executor.timed import run_timed
 from ..hw.config import ClusterConfig
 from ..obs.registry import ProfileScope, current as _obs_current
 from ..kernels.registry import KernelRegistry, registry_for
+from ..parallel import parallel_map, resolve_jobs
 from .blocking import FP32, KPlan, MPlan, MIN_GOOD_M_S, N_MAX
 from .shapes import GemmShape
 from .tuner import tune
@@ -181,6 +182,23 @@ def _des_score(
     return replace(cand, seconds=timed.seconds, validated=True)
 
 
+def _score_unit(args: tuple) -> Candidate:
+    """Picklable analytic-scoring work unit for pool workers.
+
+    Workers resolve their own registry from the core config: kernels are
+    not shipped through the pipe, and the persistent disk cache keeps the
+    workers from repeating the parent's modulo scheduling.
+    """
+    shape, cluster, strategy, plan = args
+    return _score(shape, cluster, strategy, plan, registry_for(cluster.core))
+
+
+def _des_unit(args: tuple) -> Candidate:
+    """Picklable DES-validation work unit for pool workers."""
+    shape, cluster, cand = args
+    return _des_score(shape, cluster, cand, registry_for(cluster.core))
+
+
 def autotune(
     shape: GemmShape,
     cluster: ClusterConfig,
@@ -188,6 +206,7 @@ def autotune(
     *,
     validate_top: int = 3,
     validate_op_limit: int = 60_000,
+    jobs: int | None = None,
 ) -> AutotuneResult:
     """Search both strategies' candidate grids.
 
@@ -197,6 +216,11 @@ def autotune(
     the final ranking uses the validated scores.  ``validate_top=0``
     disables validation (pure analytic search — the ablation showing why
     validation matters).
+
+    ``jobs`` fans scoring and validation across worker processes
+    (default: ``$REPRO_JOBS``, then the CPU count).  Work units are mapped
+    in candidate order and results collected in input order, so the result
+    is identical for every job count (tested).
     """
     if shape.n > N_MAX:
         raise PlanError(
@@ -205,12 +229,22 @@ def autotune(
         )
     registry = registry or registry_for(cluster.core)
     m = _obs_current()
-    candidates: list[Candidate] = []
+    jobs = resolve_jobs(jobs)
     with ProfileScope("tuner/search_wall_s"):
-        for plan in m_plan_candidates(shape, cluster):
-            candidates.append(_score(shape, cluster, "m", plan, registry))
-        for plan in k_plan_candidates(shape, cluster):
-            candidates.append(_score(shape, cluster, "k", plan, registry))
+        work = [
+            (shape, cluster, "m", plan)
+            for plan in m_plan_candidates(shape, cluster)
+        ] + [
+            (shape, cluster, "k", plan)
+            for plan in k_plan_candidates(shape, cluster)
+        ]
+        if jobs > 1:
+            candidates = parallel_map(_score_unit, work, jobs, chunksize=8)
+        else:
+            candidates = [
+                _score(shape, cluster, strategy, plan, registry)
+                for _shape, _cluster, strategy, plan in work
+            ]
         if not candidates:
             raise PlanError(f"no feasible candidate plans for {shape}")
 
@@ -227,10 +261,19 @@ def autotune(
             finalists = candidates[:validate_top]
             if all(_estimate_ops(shape, c) <= validate_op_limit for c in finalists)                 and _estimate_ops(shape, rule) <= validate_op_limit:
                 with ProfileScope("tuner/des_validate_wall_s"):
-                    finalists = [
-                        _des_score(shape, cluster, c, registry) for c in finalists
-                    ]
-                    rule = _des_score(shape, cluster, rule, registry)
+                    if jobs > 1:
+                        validated = parallel_map(
+                            _des_unit,
+                            [(shape, cluster, c) for c in [*finalists, rule]],
+                            jobs,
+                        )
+                        finalists, rule = validated[:-1], validated[-1]
+                    else:
+                        finalists = [
+                            _des_score(shape, cluster, c, registry)
+                            for c in finalists
+                        ]
+                        rule = _des_score(shape, cluster, rule, registry)
                 if m is not None:
                     m.counter("tuner/des_validated").inc(len(finalists) + 1)
                 best = min([*finalists, rule], key=lambda c: c.seconds)

@@ -105,19 +105,21 @@ def _lower(
     decision: TuningDecision,
     data: GemmOperands | None,
     registry: KernelRegistry,
+    kernel_exec: str = "numpy",
 ) -> GemmExecution:
     if decision.strategy == "m":
         return build_parallel_m(
             shape, cluster, plan=decision.m_plan, data=data,
-            registry=registry, adjust=False,
+            registry=registry, adjust=False, kernel_exec=kernel_exec,
         )
     if decision.strategy == "k":
         return build_parallel_k(
             shape, cluster, plan=decision.k_plan, data=data,
-            registry=registry, adjust=False,
+            registry=registry, adjust=False, kernel_exec=kernel_exec,
         )
     return build_tgemm(
-        shape, cluster, plan=decision.tgemm_plan, data=data, registry=registry
+        shape, cluster, plan=decision.tgemm_plan, data=data,
+        registry=registry, kernel_exec=kernel_exec,
     )
 
 
@@ -144,6 +146,7 @@ def _run(
     c: np.ndarray | None,
     timing: TimingMode,
     dtype: str = "f32",
+    kernel_exec: str = "numpy",
 ) -> GemmResult:
     registry = registry_for(cluster.core)
     data = None
@@ -154,7 +157,9 @@ def _run(
 
     func_report = None
     if data is not None:
-        func_report = run_functional(_lower(shape, cluster, decision, data, registry))
+        func_report = run_functional(
+            _lower(shape, cluster, decision, data, registry, kernel_exec)
+        )
 
     mode = timing
     if mode == "auto":
@@ -192,6 +197,7 @@ def ftimm_gemm(
     force_strategy: Strategy | None = None,
     adjust: bool = True,
     dtype: str = "f32",
+    kernel_exec: str = "numpy",
 ) -> GemmResult:
     """Run ``C += A @ B`` with ftIMM on the simulated GPDSP cluster.
 
@@ -200,7 +206,10 @@ def ftimm_gemm(
     the cluster (scalability experiments); ``adjust=False`` disables the
     dynamic block adjusting (ablation); ``force_strategy`` pins the
     parallelization strategy; ``dtype="f64"`` runs the double-precision
-    extension (N <= 48, float64 operands).
+    extension (N <= 48, float64 operands).  ``kernel_exec`` selects how
+    functional kernels compute: ``"numpy"`` (fast), or
+    ``"compiled"``/``"interp"`` for ISA-fidelity execution of the
+    generated instruction streams.
     """
     shape = GemmShape(m, n, k)
     cluster = (machine or default_machine()).cluster
@@ -211,7 +220,8 @@ def ftimm_gemm(
         dtype=dtype,
     )
     return _run(
-        shape, cluster, decision, a=a, b=b, c=c, timing=timing, dtype=dtype
+        shape, cluster, decision, a=a, b=b, c=c, timing=timing, dtype=dtype,
+        kernel_exec=kernel_exec,
     )
 
 
@@ -226,6 +236,7 @@ def tgemm_gemm(
     machine: MachineConfig | None = None,
     cores: int | None = None,
     timing: TimingMode = "auto",
+    kernel_exec: str = "numpy",
 ) -> GemmResult:
     """Run ``C += A @ B`` with the traditional TGEMM implementation."""
     shape = GemmShape(m, n, k)
@@ -237,7 +248,10 @@ def tgemm_gemm(
         tgemm_plan=TgemmPlan().validate(cluster),
         reason="baseline",
     )
-    return _run(shape, cluster, decision, a=a, b=b, c=c, timing=timing)
+    return _run(
+        shape, cluster, decision, a=a, b=b, c=c, timing=timing,
+        kernel_exec=kernel_exec,
+    )
 
 
 def gemm(

@@ -76,7 +76,13 @@ class GemmOperands:
 
 
 class LoweringContext:
-    """Per-lowering state: spaces, kernel registry, functional operands."""
+    """Per-lowering state: spaces, kernel registry, functional operands.
+
+    ``kernel_exec`` selects how emitted KERNEL closures compute:
+    ``"numpy"`` (default, ``c += a @ b``), or ``"compiled"``/``"interp"``
+    to run the generated instruction stream on the ISA machine model —
+    ISA-fidelity functional runs at trace-compiled or interpreter speed.
+    """
 
     def __init__(
         self,
@@ -85,6 +91,7 @@ class LoweringContext:
         data: GemmOperands | None,
         registry: KernelRegistry | None = None,
         dtype: str = "f32",
+        kernel_exec: str = "numpy",
     ) -> None:
         self.cluster = cluster
         self.shape = shape
@@ -93,6 +100,12 @@ class LoweringContext:
         self.esize = DTYPE_SIZES[dtype]
         self.spaces = ClusterSpaces(cluster)
         self.registry = registry or registry_for(cluster.core)
+        if kernel_exec not in ("numpy", "compiled", "interp"):
+            raise PlanError(
+                f"unknown kernel execution mode {kernel_exec!r}; "
+                "expected 'numpy', 'compiled' or 'interp'"
+            )
+        self.kernel_exec = kernel_exec
 
     @property
     def backed(self) -> bool:

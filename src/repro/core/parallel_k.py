@@ -38,11 +38,13 @@ def build_parallel_k(
     *,
     adjust: bool = True,
     pingpong: bool = True,
+    kernel_exec: str = "numpy",
 ) -> GemmExecution:
     """Lower a GEMM to the K-parallel strategy's op streams.
 
     ``pingpong=False`` single-buffers B_a and A_s (double-buffering
-    ablation).
+    ablation).  ``kernel_exec`` selects how KERNEL closures compute (see
+    :class:`~repro.core.lowering.LoweringContext`).
     """
     if plan is None:
         plan = KPlan()
@@ -50,7 +52,10 @@ def build_parallel_k(
         plan = adjust_k_plan(plan, shape, cluster)
     else:
         plan = plan.validate(cluster)
-    ctx = LoweringContext(cluster, shape, data, registry, dtype=plan.dtype)
+    ctx = LoweringContext(
+        cluster, shape, data, registry, dtype=plan.dtype,
+        kernel_exec=kernel_exec,
+    )
     n_cores = cluster.n_cores
     builder = OpStreamBuilder(n_cores)
     m, n, k = shape.m, shape.n, shape.k
@@ -167,11 +172,13 @@ def build_parallel_k(
                                     ms_r=ms_r,
                                     kc=kc,
                                     nar=nar,
+                                    mode=ctx.kernel_exec,
                                 ) -> None:
-                                    kern.apply(
+                                    kern.apply_exec(
                                         as_arr[:ms_r, :kc],
                                         ba_arr[:kc, :nar],
                                         ca_arr[u0 : u0 + ms_r, :nar],
+                                        mode,
                                     )
 
                             kidx = builder.kernel(
@@ -214,6 +221,7 @@ def build_parallel_k(
         "ftimm-k",
         cluster,
         plan=plan,
+        kernel_exec=ctx.kernel_exec,
         n_active=n_active,
         peak_am=max(s.peak_used for s in ctx.spaces.am),
         peak_sm=max(s.peak_used for s in ctx.spaces.sm),

@@ -31,12 +31,14 @@ def build_parallel_m(
     *,
     adjust: bool = True,
     pingpong: bool = True,
+    kernel_exec: str = "numpy",
 ) -> GemmExecution:
     """Lower a GEMM to the M-parallel strategy's op streams.
 
     ``pingpong=False`` single-buffers every tile (the ablation of the
     paper's double-buffering scheme): each DMA then serializes against the
-    compute consuming its buffer.
+    compute consuming its buffer.  ``kernel_exec`` selects how KERNEL
+    closures compute (see :class:`~repro.core.lowering.LoweringContext`).
     """
     if plan is None:
         plan = MPlan()
@@ -44,7 +46,10 @@ def build_parallel_m(
         plan = adjust_m_plan(plan, shape, cluster)
     else:
         plan = plan.validate(cluster)
-    ctx = LoweringContext(cluster, shape, data, registry, dtype=plan.dtype)
+    ctx = LoweringContext(
+        cluster, shape, data, registry, dtype=plan.dtype,
+        kernel_exec=kernel_exec,
+    )
     n_cores = cluster.n_cores
     builder = OpStreamBuilder(n_cores)
     m, n, k = shape.m, shape.n, shape.k
@@ -166,11 +171,13 @@ def build_parallel_m(
                                     ms_r=ms_r,
                                     kc=kc,
                                     nc=nc,
+                                    mode=ctx.kernel_exec,
                                 ) -> None:
-                                    kern.apply(
+                                    kern.apply_exec(
                                         as_arr[:ms_r, :kc],
                                         ba_arr[:kc, :nc],
                                         ca_arr[tt0 : tt0 + ms_r, :nc],
+                                        mode,
                                     )
 
                             last_kernel = builder.kernel(
@@ -202,6 +209,7 @@ def build_parallel_m(
         "ftimm-m",
         cluster,
         plan=plan,
+        kernel_exec=ctx.kernel_exec,
         peak_am=max(s.peak_used for s in ctx.spaces.am),
         peak_sm=max(s.peak_used for s in ctx.spaces.sm),
         peak_gsm=ctx.spaces.gsm.peak_used,

@@ -35,10 +35,12 @@ def build_tgemm(
     plan: TgemmPlan | None = None,
     data: GemmOperands | None = None,
     registry: KernelRegistry | None = None,
+    *,
+    kernel_exec: str = "numpy",
 ) -> GemmExecution:
     """Lower a GEMM to TGEMM's op streams."""
     plan = (plan or TgemmPlan()).validate(cluster)
-    ctx = LoweringContext(cluster, shape, data, registry)
+    ctx = LoweringContext(cluster, shape, data, registry, kernel_exec=kernel_exec)
     n_cores = cluster.n_cores
     builder = OpStreamBuilder(n_cores)
     m, n, k = shape.m, shape.n, shape.k
@@ -147,11 +149,13 @@ def build_tgemm(
                             ms_r=ms_r,
                             kc=kc,
                             nc=nc,
+                            mode=ctx.kernel_exec,
                         ) -> None:
-                            kern.apply(
+                            kern.apply_exec(
                                 as_arr[:ms_r, :kc],
                                 ba_arr[:kc, :nc],
                                 ca_arr[ii0 : ii0 + ms_r, :nc],
+                                mode,
                             )
 
                     last_kernel = builder.kernel(
@@ -183,6 +187,7 @@ def build_tgemm(
         "tgemm",
         cluster,
         plan=plan,
+        kernel_exec=ctx.kernel_exec,
         peak_am=max(s.peak_used for s in ctx.spaces.am),
         peak_sm=max(s.peak_used for s in ctx.spaces.sm),
         peak_gsm=ctx.spaces.gsm.peak_used,

@@ -145,3 +145,30 @@ def tune(
         m_plan=plan,
         reason=f"M={shape.m} large enough to split across cores",
     )
+
+
+def _tune_unit(args: tuple) -> TuningDecision:
+    """Picklable work unit for :func:`tune_many`."""
+    shape, cluster, dtype = args
+    return tune(shape, cluster, dtype=dtype)
+
+
+def tune_many(
+    shapes: list[GemmShape],
+    cluster: ClusterConfig,
+    *,
+    dtype: str = "f32",
+    jobs: int | None = None,
+) -> list[TuningDecision]:
+    """Tune a batch of shapes, fanned across worker processes.
+
+    Returns one decision per shape, in input order; identical to calling
+    :func:`tune` serially for every job count (each decision is a pure
+    function of its shape).  Used by experiment sweeps that classify and
+    plan hundreds of shapes.
+    """
+    from ..parallel import parallel_map
+
+    return parallel_map(
+        _tune_unit, [(s, cluster, dtype) for s in shapes], jobs, chunksize=16
+    )

@@ -27,6 +27,8 @@ class FunctionalReport:
     sync_ops: int
     bytes_moved: int
     flops: int
+    #: how KERNEL closures computed ("numpy", "compiled" or "interp")
+    kernel_exec: str = "numpy"
 
 
 def run_functional(execution: GemmExecution) -> FunctionalReport:
@@ -56,4 +58,5 @@ def run_functional(execution: GemmExecution) -> FunctionalReport:
         sync_ops=sync,
         bytes_moved=bytes_moved,
         flops=flops,
+        kernel_exec=execution.meta.get("kernel_exec", "numpy"),
     )

@@ -2,11 +2,14 @@
 
 Usage::
 
-    python -m repro.experiments.run_all [output.md] [--json data.json]
+    python -m repro.experiments.run_all [output.md] [--json data.json] [--jobs N]
 
 Writes the paper-vs-measured record for Tables I-III and Figures 3-7
 (plus the ext_* extensions); ``--json`` additionally dumps every series
-and claim as machine-readable data for external plotting.
+and claim as machine-readable data for external plotting.  ``--jobs``
+(default ``$REPRO_JOBS``, then the CPU count) fans the experiment modules
+out across worker processes; results are collected in module order, so
+the generated markdown is identical for every job count.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ import time
 from pathlib import Path
 
 from ..analysis.tables import ExperimentResult
+from ..parallel import parallel_map, resolve_jobs
 from . import (
     ext_autotune,
     ext_bandwidth,
@@ -57,8 +61,28 @@ Regenerate with `python -m repro.experiments.run_all`.
 """
 
 
-def run_everything() -> list[ExperimentResult]:
+def _run_module(name: str) -> list[ExperimentResult]:
+    """Picklable work unit: run one experiment module by name."""
+    module = next(m for m in MODULES if m.__name__ == name)
+    return module.run()
+
+
+def run_everything(jobs: int | None = None) -> list[ExperimentResult]:
+    jobs = resolve_jobs(jobs, len(MODULES))
     results: list[ExperimentResult] = []
+    if jobs > 1:
+        t0 = time.perf_counter()
+        # module *names* are the work items: modules themselves pickle by
+        # reference anyway, and names keep the journal human-readable
+        per_module = parallel_map(
+            _run_module, [m.__name__ for m in MODULES], jobs
+        )
+        dt = time.perf_counter() - t0
+        for module, module_results in zip(MODULES, per_module):
+            print(f"[{module.__name__}] {len(module_results)} experiments")
+            results.extend(module_results)
+        print(f"ran {len(MODULES)} experiment modules on {jobs} workers in {dt:.1f}s")
+        return results
     for module in MODULES:
         t0 = time.perf_counter()
         module_results = module.run()
@@ -91,8 +115,13 @@ def main(argv: list[str] | None = None) -> None:
         i = args.index("--json")
         json_path = Path(args[i + 1])
         del args[i : i + 2]
+    jobs: int | None = None
+    if "--jobs" in args:
+        i = args.index("--jobs")
+        jobs = int(args[i + 1])
+        del args[i : i + 2]
     out = Path(args[0]) if args else Path(__file__).resolve().parents[3] / "EXPERIMENTS.md"
-    results = run_everything()
+    results = run_everything(jobs)
     for result in results:
         print()
         print(result.render(chart=True))

@@ -21,6 +21,7 @@ a monotonically increasing sequence number, so runs are exactly repeatable.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable
 
 from ..errors import SimulationError
@@ -214,6 +215,8 @@ class Resource:
     channels_per_core) and the compute pipeline (capacity = 1).
     """
 
+    __slots__ = ("sim", "capacity", "name", "_in_use", "_queue")
+
     def __init__(self, sim: Simulator, capacity: int, name: str = "") -> None:
         if capacity < 1:
             raise SimulationError(f"resource {name!r} capacity must be >= 1")
@@ -221,7 +224,7 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self._in_use = 0
-        self._queue: list[Event] = []
+        self._queue: deque[Event] = deque()
 
     def request(self) -> Event:
         ev = Event(self.sim, name=f"req:{self.name}")
@@ -236,7 +239,7 @@ class Resource:
         if self._in_use <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
         if self._queue:
-            nxt = self._queue.pop(0)
+            nxt = self._queue.popleft()
             self.sim._schedule_at(self.sim.now, nxt, None)
         else:
             self._in_use -= 1

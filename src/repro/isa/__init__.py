@@ -9,6 +9,13 @@ emitter (:mod:`repro.isa.emitter`) renders assembly and the paper-style
 pipeline tables.
 """
 
+from .compile import (
+    CompiledBlock,
+    CompiledProgram,
+    compile_block,
+    compile_program,
+    compiled_for,
+)
 from .emitter import (
     fmac_occupancy,
     pipeline_grid,
@@ -44,6 +51,8 @@ from .units import (
 
 __all__ = [
     "Affine",
+    "CompiledBlock",
+    "CompiledProgram",
     "DEFAULT_UNITS",
     "DEFAULT_UNIT_COUNTS",
     "DepEdge",
@@ -62,6 +71,9 @@ __all__ = [
     "UnitClass",
     "UnitFile",
     "build_dependences",
+    "compile_block",
+    "compile_program",
+    "compiled_for",
     "fma",
     "fmac_occupancy",
     "opcode_histogram",

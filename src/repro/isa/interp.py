@@ -48,6 +48,9 @@ class MachineState:
         self.sregs: dict[str, np.ndarray] = {}
         self.vregs: dict[str, np.ndarray] = {}
         self.instructions_retired = 0
+        #: reusable product buffer for VFMULAS32 (avoids one allocation
+        #: per FMA; the destination buffer is reused across writes too).
+        self._scratch = np.empty(self.vlanes, dtype=self.dtype)
 
     # -- helpers -----------------------------------------------------------
 
@@ -82,6 +85,18 @@ class MachineState:
         if value is None:
             raise IsaError(f"read of undefined vector register {name}")
         return value
+
+    def _dst_buffer(self, name: str) -> np.ndarray:
+        """A writable full-vector buffer for ``name``, reused when possible.
+
+        Register arrays are never shared between names (every producer
+        allocates or copies), so writing the existing buffer in place is
+        safe; elementwise ufuncs tolerate ``out`` aliasing an input.
+        """
+        out = self.vregs.get(name)
+        if out is None or out.shape != (self.vlanes,) or out.dtype != self.dtype:
+            out = np.empty(self.vlanes, dtype=self.dtype)
+        return out
 
     # -- execution ---------------------------------------------------------
 
@@ -126,10 +141,15 @@ class MachineState:
             dst[lanes:] = self._vreg(instr.srcs[1])
         elif op is Opcode.VFMULAS32:
             acc, va, vb = (self._vreg(r) for r in instr.srcs)
-            self.vregs[instr.dsts[0]] = (acc + va * vb).astype(self.dtype)
+            out = self._dst_buffer(instr.dsts[0])
+            np.multiply(va, vb, out=self._scratch)
+            np.add(acc, self._scratch, out=out)
+            self.vregs[instr.dsts[0]] = out
         elif op is Opcode.VADDS32:
             va, vb = (self._vreg(r) for r in instr.srcs)
-            self.vregs[instr.dsts[0]] = (va + vb).astype(self.dtype)
+            out = self._dst_buffer(instr.dsts[0])
+            np.add(va, vb, out=out)
+            self.vregs[instr.dsts[0]] = out
         elif op is Opcode.VMOVI:
             self.vregs[instr.dsts[0]] = np.full(
                 lanes, instr.imm, dtype=self.dtype
@@ -152,14 +172,30 @@ def run_block(block: LoopProgram, state: MachineState) -> None:
         state.execute(instr, 0)
 
 
-def run_program(program: KernelProgram, arrays: dict[str, np.ndarray]) -> MachineState:
+def run_program(
+    program: KernelProgram,
+    arrays: dict[str, np.ndarray],
+    mode: str = "compiled",
+) -> MachineState:
     """Execute a complete micro-kernel program against named tiles.
 
     ``arrays`` must contain the (padded) tiles the program references,
     conventionally ``A`` (m_s x k_eff), ``B`` (k_eff x padded n) and ``C``
     (m_s x padded n).  C is updated in place (accumulation semantics).
+
+    ``mode="compiled"`` (default) batches each loop body across all trip
+    iterations via :mod:`repro.isa.compile` — bit-identical to the
+    interpreter, with automatic per-block fallback for bodies the compiler
+    cannot prove safe.  ``mode="interp"`` forces the reference interpreter.
     """
     state = MachineState(arrays)
+    if mode == "compiled":
+        from .compile import compiled_for  # local: compile imports interp
+
+        compiled_for(program).run(state)
+        return state
+    if mode != "interp":
+        raise IsaError(f"unknown execution mode {mode!r}")
     for block in program.blocks:
         run_block(block, state)
     return state

@@ -50,6 +50,11 @@ from ..isa.units import units_for
 from ..isa.validator import validate_program
 from .spec import KernelSpec
 
+#: bump when generated instruction streams or schedules change meaning;
+#: the on-disk kernel cache (:mod:`repro.kernels.registry`) keys on this.
+GENERATOR_VERSION = 1
+
+
 #: accumulator-independence target: enough FMAs in flight per iteration to
 #: cover the FMAC latency on all three pipes.
 def _min_fmas_per_iter(core: DspCoreConfig) -> int:
@@ -130,6 +135,9 @@ class MicroKernel:
     name: str = "ftimm"
     _interp_cache: dict = field(default_factory=dict, repr=False)
 
+    #: functional execution modes accepted by :meth:`apply_exec`
+    EXEC_MODES = ("numpy", "compiled", "interp")
+
     # -- performance -------------------------------------------------------
 
     @property
@@ -168,12 +176,19 @@ class MicroKernel:
             )
         c += a @ b
 
-    def apply_interpreted(
-        self, a: np.ndarray, b: np.ndarray, c: np.ndarray
+    def apply_isa(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray,
+        mode: str = "compiled",
     ) -> None:
-        """Execute the generated instruction stream on the ISA interpreter.
+        """Execute the generated instruction stream on the ISA machine model.
 
-        Slow; used by tests to prove the generated code equals ``a @ b``.
+        ``mode="compiled"`` (default) runs the trace-compiled program
+        (:mod:`repro.isa.compile`); ``mode="interp"`` forces the reference
+        interpreter.  Both are bit-identical; used by tests to prove the
+        generated code equals ``a @ b``.
         """
         m, n = self.spec.m_s, self.spec.n_a
         k = self.spec.k_a
@@ -184,8 +199,33 @@ class MicroKernel:
         b_p[:k, :n] = b
         c_p = np.zeros((m, self.compute_n), dtype=dt)
         c_p[:, :n] = c
-        run_program(self.program, {"A": a_p, "B": b_p, "C": c_p})
+        run_program(self.program, {"A": a_p, "B": b_p, "C": c_p}, mode=mode)
         c[:, :] = c_p[:, :n]
+
+    def apply_interpreted(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray,
+        mode: str = "compiled",
+    ) -> None:
+        """ISA-model execution (compiled by default; see :meth:`apply_isa`)."""
+        self.apply_isa(a, b, c, mode=mode)
+
+    def apply_exec(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray, mode: str = "numpy"
+    ) -> None:
+        """Dispatch a functional kernel application by execution mode.
+
+        ``"numpy"`` is the fast path (``c += a @ b``); ``"compiled"`` and
+        ``"interp"`` run the generated instruction stream for ISA fidelity.
+        """
+        if mode == "numpy":
+            self.apply(a, b, c)
+        elif mode in ("compiled", "interp"):
+            self.apply_isa(a, b, c, mode=mode)
+        else:
+            raise KernelError(
+                f"unknown kernel execution mode {mode!r}; "
+                f"expected one of {self.EXEC_MODES}"
+            )
 
     # -- introspection -------------------------------------------------------
 

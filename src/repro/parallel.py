@@ -1,0 +1,79 @@
+"""Process-pool helpers for plan search and experiment fan-out.
+
+The autotuner scores hundreds of candidate plans analytically and
+DES-validates the finalists; both are CPU-bound pure-Python work, so the
+only way to speed them up on a multi-core host is multiple processes.
+This module wraps :class:`concurrent.futures.ProcessPoolExecutor` with the
+project's conventions:
+
+* **deterministic ordering** — results come back in input order
+  (``Executor.map`` semantics), so parallel and serial runs are
+  result-identical;
+* **picklable work units** — callers pass a module-level function plus
+  picklable items (frozen config dataclasses, shapes, plain tuples);
+* **jobs control** — ``jobs=None`` resolves ``$REPRO_JOBS``, then the CPU
+  count; ``jobs=1`` (or a single item) runs serially in-process, which is
+  also the fallback wherever a pool cannot be created (e.g. restricted
+  sandboxes);
+* **worker warm-up** — workers inherit nothing mutable from the parent:
+  each re-derives kernels through the registry, where the persistent disk
+  cache (:mod:`repro.kernels.registry`) keeps them from repeating the
+  parent's modulo scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_jobs() -> int:
+    """Worker count: ``$REPRO_JOBS`` if set and positive, else CPU count."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            jobs = int(env)
+        except ValueError:
+            jobs = 0
+        if jobs >= 1:
+            return jobs
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: int | None, n_items: int | None = None) -> int:
+    """Effective worker count for a task of ``n_items`` units."""
+    if jobs is None:
+        jobs = default_jobs()
+    jobs = max(1, int(jobs))
+    if n_items is not None:
+        jobs = min(jobs, max(1, n_items))
+    return jobs
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = None,
+    *,
+    chunksize: int = 1,
+) -> list[R]:
+    """``[fn(x) for x in items]``, fanned across processes.
+
+    Results are returned in input order regardless of completion order.
+    Serial fallback when the effective job count is 1, there are fewer
+    than two items, or the host refuses to fork a pool.
+    """
+    seq: Sequence[T] = items if isinstance(items, Sequence) else list(items)
+    jobs = resolve_jobs(jobs, len(seq))
+    if jobs == 1 or len(seq) < 2:
+        return [fn(x) for x in seq]
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(fn, seq, chunksize=chunksize))
+    except (OSError, PermissionError):
+        return [fn(x) for x in seq]

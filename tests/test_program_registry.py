@@ -88,3 +88,46 @@ class TestRegistry:
 
     def test_registry_for_is_per_config(self, core):
         assert registry_for(core) is registry_for(core)
+
+
+class TestRegistryCacheLevels:
+    def test_registry_for_keyed_by_value(self, core):
+        # regression: keying by id(core) let a collected config's reused id
+        # hand a fresh machine another machine's kernels
+        import dataclasses
+
+        clone = dataclasses.replace(core)
+        assert clone is not core
+        assert registry_for(clone) is registry_for(core)
+
+    def test_memory_only_registry(self, core):
+        from repro.kernels.registry import KernelRegistry
+
+        reg = KernelRegistry(core, disk=False)
+        assert reg.disk is None
+        kern = reg.ftimm(6, 64, 64)
+        assert kern.cycles > 0
+
+    def test_default_cache_dir_env(self, monkeypatch, tmp_path):
+        from pathlib import Path
+
+        from repro.kernels.registry import default_cache_dir
+
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path))
+        assert default_cache_dir() == tmp_path
+        for off in ("0", "off", "none", "", "  OFF "):
+            monkeypatch.setenv("REPRO_KERNEL_CACHE", off)
+            assert default_cache_dir() is None
+        monkeypatch.delenv("REPRO_KERNEL_CACHE")
+        assert default_cache_dir() == Path.home() / ".cache/repro/kernels"
+
+    def test_memory_hit_counters(self, core, tmp_path):
+        from repro.kernels.registry import KernelDiskCache, KernelRegistry
+        from repro.obs import collecting
+
+        reg = KernelRegistry(core, disk=KernelDiskCache(tmp_path))
+        with collecting() as obs:
+            reg.ftimm(6, 64, 64)
+            reg.ftimm(6, 64, 64)
+        assert obs.counter("kernels/cache/mem_miss").value == 1
+        assert obs.counter("kernels/cache/mem_hit").value == 1

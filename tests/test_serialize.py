@@ -73,3 +73,181 @@ class TestProgramRoundTrip:
         kern = registry.ftimm(10, 96, 32)
         restored = program_from_dict(program_to_dict(kern.program))
         assert restored.registers_used() == kern.program.registers_used()
+
+
+class TestScheduleRoundTrip:
+    def test_body_schedule_round_trips(self, registry, core):
+        from repro.isa.units import units_for
+        from repro.kernels.serialize import schedule_from_dict, schedule_to_dict
+
+        kern = registry.ftimm(8, 96, 32)
+        sched = kern.body_schedules[0]
+        restored = schedule_from_dict(
+            schedule_to_dict(sched),
+            kern.program.blocks[0].body,
+            core.latencies,
+            units_for(core),
+        )
+        assert restored.ii == sched.ii
+        assert restored.times == sched.times
+        assert restored.assignments == sched.assignments
+
+    def test_empty_schedule_round_trips(self, core):
+        from repro.isa.units import units_for
+        from repro.kernels.serialize import schedule_from_dict, schedule_to_dict
+        from repro.isa.scheduler import Schedule
+
+        units = units_for(core)
+        empty = Schedule([], [], [], 0, [], units)
+        restored = schedule_from_dict(
+            schedule_to_dict(empty), [], core.latencies, units
+        )
+        assert restored.times == [] and restored.ii == 0
+
+    def test_length_mismatch_rejected(self, registry, core):
+        from repro.isa.units import units_for
+        from repro.kernels.serialize import schedule_from_dict, schedule_to_dict
+
+        kern = registry.ftimm(8, 96, 32)
+        d = schedule_to_dict(kern.body_schedules[0])
+        d["times"] = d["times"][:-1]
+        with pytest.raises(IsaError):
+            schedule_from_dict(
+                d, kern.program.blocks[0].body, core.latencies, units_for(core)
+            )
+
+    def test_tampered_schedule_rejected(self, registry, core):
+        # a hand-edited file cannot smuggle in an illegal schedule: edges
+        # are recomputed and the dependence check re-run on load
+        from repro.errors import ScheduleError
+        from repro.isa.units import units_for
+        from repro.kernels.serialize import schedule_from_dict, schedule_to_dict
+
+        kern = registry.ftimm(8, 96, 32)
+        d = schedule_to_dict(kern.body_schedules[0])
+        d["times"] = [0] * len(d["times"])
+        with pytest.raises(ScheduleError):
+            schedule_from_dict(
+                d, kern.program.blocks[0].body, core.latencies, units_for(core)
+            )
+
+
+class TestKernelRoundTrip:
+    def _restored(self, registry, core, *spec, **kw):
+        from repro.kernels.serialize import kernel_from_dict, kernel_to_dict
+
+        kern = registry.ftimm(*spec, **kw)
+        blob = json.loads(json.dumps(kernel_to_dict(kern)))
+        return kern, kernel_from_dict(blob, core)
+
+    def test_metadata_preserved(self, registry, core):
+        kern, restored = self._restored(registry, core, 6, 64, 64)
+        assert restored.spec == kern.spec
+        assert restored.cycles == kern.cycles
+        assert restored.compute_n == kern.compute_n
+        assert restored.compute_k == kern.compute_k
+        assert restored.blocks == kern.blocks
+        assert restored.name == kern.name
+        for old, new in zip(kern.body_schedules, restored.body_schedules):
+            assert (new.ii, new.times, new.assignments) == (
+                old.ii, old.times, old.assignments
+            )
+
+    def test_execution_bit_identical(self, registry, core):
+        kern, restored = self._restored(registry, core, 6, 96, 32)
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((6, 32)).astype(np.float32)
+        b = rng.standard_normal((32, 96)).astype(np.float32)
+        c1 = rng.standard_normal((6, 96)).astype(np.float32)
+        c2 = c1.copy()
+        kern.apply_isa(a, b, c1, mode="compiled")
+        restored.apply_isa(a, b, c2, mode="compiled")
+        assert np.array_equal(c1, c2)
+
+    def test_f64_kernel_round_trips(self, registry, core):
+        kern, restored = self._restored(registry, core, 6, 32, 16, dtype="f64")
+        assert restored.spec.dtype == "f64"
+        assert restored.cycles == kern.cycles
+
+    def test_format_mismatch_rejected(self, registry, core):
+        from repro.kernels.serialize import kernel_from_dict, kernel_to_dict
+
+        d = kernel_to_dict(registry.ftimm(6, 64, 64))
+        d["format"] = 999
+        with pytest.raises(IsaError):
+            kernel_from_dict(d, core)
+
+    def test_schedule_count_mismatch_rejected(self, registry, core):
+        from repro.kernels.serialize import kernel_from_dict, kernel_to_dict
+
+        d = kernel_to_dict(registry.ftimm(6, 64, 64))
+        d["body_schedules"] = []
+        with pytest.raises(IsaError):
+            kernel_from_dict(d, core)
+
+
+class TestDiskCache:
+    def test_store_load_round_trip(self, tmp_path, core):
+        from repro.kernels.registry import KernelDiskCache, KernelRegistry
+        from repro.obs import collecting
+
+        with collecting() as obs:
+            first = KernelRegistry(core, disk=KernelDiskCache(tmp_path))
+            k1 = first.ftimm(6, 96, 48)
+        assert obs.counter("kernels/cache/disk_miss").value == 1
+        assert obs.counter("kernels/cache/disk_write").value == 1
+
+        with collecting() as obs:
+            second = KernelRegistry(core, disk=KernelDiskCache(tmp_path))
+            k2 = second.ftimm(6, 96, 48)
+        assert obs.counter("kernels/cache/disk_hit").value == 1
+        assert k2.cycles == k1.cycles
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((6, 48)).astype(np.float32)
+        b = rng.standard_normal((48, 96)).astype(np.float32)
+        c1 = rng.standard_normal((6, 96)).astype(np.float32)
+        c2 = c1.copy()
+        k1.apply_isa(a, b, c1)
+        k2.apply_isa(a, b, c2)
+        assert np.array_equal(c1, c2)
+
+    def test_corrupt_entry_regenerated(self, tmp_path, core):
+        from repro.kernels.registry import KernelDiskCache, KernelRegistry
+        from repro.kernels.serialize import KERNEL_FORMAT
+        from repro.obs import collecting
+
+        cache = KernelDiskCache(tmp_path)
+        key = KernelDiskCache.key(
+            "ftimm", {"m_s": 6, "n_a": 96, "k_a": 48, "dtype": "f32"}, core
+        )
+        cache.root.mkdir(parents=True)
+        path = cache.root / f"{key}.json"
+        path.write_text("{ this is not json")
+        with collecting() as obs:
+            KernelRegistry(core, disk=cache).ftimm(6, 96, 48)
+        assert obs.counter("kernels/cache/disk_miss").value == 1
+        assert obs.counter("kernels/cache/disk_write").value == 1
+        # the corrupt entry was replaced by a fresh serialization
+        assert json.loads(path.read_text())["format"] == KERNEL_FORMAT
+
+    def test_version_stamped_directory(self, tmp_path):
+        from repro.kernels.generator import GENERATOR_VERSION
+        from repro.kernels.registry import KernelDiskCache
+        from repro.kernels.serialize import KERNEL_FORMAT
+
+        cache = KernelDiskCache(tmp_path)
+        assert cache.root == tmp_path / f"v{GENERATOR_VERSION}-f{KERNEL_FORMAT}"
+
+    def test_key_separates_kind_params_core(self, core):
+        import dataclasses
+
+        from repro.kernels.registry import KernelDiskCache
+
+        params = {"m_s": 6, "n_a": 96, "k_a": 48, "dtype": "f32"}
+        base = KernelDiskCache.key("ftimm", params, core)
+        assert KernelDiskCache.key("tgemm", params, core) != base
+        assert KernelDiskCache.key("ftimm", {**params, "k_a": 49}, core) != base
+        other = dataclasses.replace(core, n_vector_fmac=core.n_vector_fmac + 1)
+        assert KernelDiskCache.key("ftimm", params, other) != base
+        # but equal inputs give the identical digest (stable addressing)
+        assert KernelDiskCache.key("ftimm", dict(params), core) == base
