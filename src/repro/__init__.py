@@ -36,10 +36,16 @@ Package map:
 from .api import (
     AutotuneResult,
     BatchedGemmResult,
+    ChaosSummary,
+    CoreFault,
+    DegradationWindow,
+    FaultPlan,
+    FaultReport,
     GemmResult,
     GroupedGemmResult,
     HeteroResult,
     batched_gemm,
+    chaos_sweep,
     grouped_gemm,
     hetero_gemm,
     GemmShape,

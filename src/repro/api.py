@@ -21,6 +21,14 @@ from .core.hetero import HeteroResult, hetero_gemm
 from .core.multi_cluster import MultiClusterResult, multi_cluster_gemm
 from .core.shapes import GemmShape
 from .core.tuning_cache import TuningCache
+from .faults import (
+    ChaosSummary,
+    CoreFault,
+    DegradationWindow,
+    FaultPlan,
+    FaultReport,
+    chaos_sweep,
+)
 from .hw.config import MachineConfig, default_machine
 from .kernels.generator import MicroKernel
 from .kernels.registry import registry_for
@@ -44,8 +52,14 @@ def classify(m: int, n: int, k: int) -> str:
 __all__ = [
     "AutotuneResult",
     "BatchedGemmResult",
+    "ChaosSummary",
+    "CoreFault",
+    "DegradationWindow",
+    "FaultPlan",
+    "FaultReport",
     "GroupedGemmResult",
     "batched_gemm",
+    "chaos_sweep",
     "grouped_gemm",
     "HeteroResult",
     "hetero_gemm",

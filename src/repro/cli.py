@@ -10,6 +10,7 @@
     python -m repro autotune MxNxK [--jobs N] [--no-validate]
     python -m repro kernel M N K [--table] [--asm] [--tgemm]
     python -m repro classify MxNxK
+    python -m repro chaos [--seeds N] [--impl ftimm|tgemm|both]
     python -m repro experiment fig3|fig4|fig5|fig6|fig7|tables|all
     python -m repro machine
 
@@ -216,24 +217,28 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     report = attribute(result, shape, cluster, impl=args.impl)
     print(report.render())
 
-    cache_counts = {
-        name.rsplit("/", 1)[-1]: int(snap["value"])
-        for name, snap in reg.snapshot().items()
-        if name.startswith("kernels/cache/")
-    }
-    if cache_counts:
-        print()
-        print(
-            "kernel cache: "
-            + "  ".join(f"{k}={v}" for k, v in sorted(cache_counts.items()))
-        )
+    for prefix, label in (
+        ("kernels/cache/", "kernel cache"),
+        ("faults/", "faults"),
+        ("parallel/", "pool"),
+    ):
+        counts = {
+            name[len(prefix):]: snap["value"]
+            for name, snap in reg.snapshot().items()
+            if name.startswith(prefix) and snap.get("type") == "counter"
+        }
+        if counts:
+            print()
+            print(label + ": " + "  ".join(
+                f"{k}={v:g}" for k, v in sorted(counts.items())
+            ))
 
     record = make_record(
         **report.to_record_fields(),
         profile=result.profile.to_dict(),
         metrics=reg.snapshot(),
     )
-    earlier = read_records(args.runlog)
+    earlier = read_records(args.runlog, skip_invalid=True)
     if args.compare:
         prev = last_matching(
             earlier, shape=str(shape), impl=args.impl, cores=cluster.n_cores
@@ -276,6 +281,33 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
         if snap["type"] == "timer":
             print(f"  {name}: {snap['total']:.3f} s")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import chaos_sweep
+    from .obs import collecting
+
+    impls = ("ftimm", "tgemm") if args.impl == "both" else (args.impl,)
+    rates = tuple(float(r) for r in args.rates.split(","))
+    with collecting() as reg:
+        summary = chaos_sweep(
+            seeds=range(args.seeds),
+            rates=rates,
+            impls=impls,
+            core_failures=not args.no_core_failures,
+            timed_probe=not args.no_timed_probe,
+        )
+    print(summary.describe())
+    fault_counts = {
+        name[len("faults/"):]: snap["value"]
+        for name, snap in reg.snapshot().items()
+        if name.startswith("faults/") and snap.get("type") == "counter"
+    }
+    if fault_counts:
+        print("injector: " + "  ".join(
+            f"{k}={v:g}" for k, v in sorted(fault_counts.items())
+        ))
+    return 0 if summary.ok else 1
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
@@ -411,6 +443,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_classify = sub.add_parser("classify", help="shape taxonomy")
     p_classify.add_argument("shape", type=_parse_shape)
     p_classify.set_defaults(fn=_cmd_classify)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: every run bit-correct or a typed error",
+    )
+    p_chaos.add_argument("--seeds", type=int, default=4,
+                         help="fault-plan seeds per scenario (default 4)")
+    p_chaos.add_argument("--rates", default="1e-3,1e-2",
+                         help="comma-separated bit-flip rates")
+    p_chaos.add_argument("--impl", choices=["ftimm", "tgemm", "both"],
+                         default="both")
+    p_chaos.add_argument("--no-core-failures", action="store_true",
+                         help="skip the mid-run core-loss scenarios")
+    p_chaos.add_argument("--no-timed-probe", action="store_true",
+                         help="skip the DES run with DMA failures")
+    p_chaos.set_defaults(fn=_cmd_chaos)
 
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
     p_exp.add_argument(

@@ -20,12 +20,12 @@ Timing modes:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Literal
 
 import numpy as np
 
-from ..errors import PlanError
+from ..errors import CoreFailureError, PlanError
 from ..executor.analytic import (
     analytic_parallel_k,
     analytic_parallel_m,
@@ -33,6 +33,8 @@ from ..executor.analytic import (
 )
 from ..executor.functional import FunctionalReport, run_functional
 from ..executor.timed import TimedResult, run_timed
+from ..faults.inject import FaultInjector, FaultReport
+from ..faults.plan import FaultPlan
 from ..hw.config import ClusterConfig, MachineConfig, default_machine
 from ..kernels.registry import KernelRegistry, registry_for
 from .blocking import KPlan, MPlan, TgemmPlan
@@ -61,6 +63,9 @@ class GemmResult:
     functional: FunctionalReport | None
     timing_mode: str
     n_cores: int
+    #: set whenever a fault plan was supplied — what the run survived and
+    #: what surviving cost (all-zero when the plan injected nothing)
+    faults: FaultReport | None = None
 
     @property
     def seconds(self) -> float:
@@ -106,20 +111,36 @@ def _lower(
     data: GemmOperands | None,
     registry: KernelRegistry,
     kernel_exec: str = "numpy",
+    faults: FaultInjector | None = None,
 ) -> GemmExecution:
     if decision.strategy == "m":
         return build_parallel_m(
             shape, cluster, plan=decision.m_plan, data=data,
             registry=registry, adjust=False, kernel_exec=kernel_exec,
+            faults=faults,
         )
     if decision.strategy == "k":
         return build_parallel_k(
             shape, cluster, plan=decision.k_plan, data=data,
             registry=registry, adjust=False, kernel_exec=kernel_exec,
+            faults=faults,
         )
     return build_tgemm(
         shape, cluster, plan=decision.tgemm_plan, data=data,
-        registry=registry, kernel_exec=kernel_exec,
+        registry=registry, kernel_exec=kernel_exec, faults=faults,
+    )
+
+
+def _retune(
+    shape: GemmShape,
+    cluster: ClusterConfig,
+    decision: TuningDecision,
+    dtype: str,
+) -> TuningDecision:
+    """Re-plan the same strategy for a reduced (post-failure) cluster."""
+    return tune(
+        shape, cluster, force_strategy=decision.strategy, adjust=True,
+        dtype=dtype,
     )
 
 
@@ -147,6 +168,7 @@ def _run(
     timing: TimingMode,
     dtype: str = "f32",
     kernel_exec: str = "numpy",
+    faults: FaultPlan | None = None,
 ) -> GemmResult:
     registry = registry_for(cluster.core)
     data = None
@@ -154,6 +176,12 @@ def _run(
         if a is None or b is None or c is None:
             raise PlanError("provide all of a, b, c or none of them")
         data = GemmOperands.check(shape, a, b, c, dtype=dtype)
+
+    if faults is not None:
+        return _run_resilient(
+            shape, cluster, decision, data=data, timing=timing, dtype=dtype,
+            kernel_exec=kernel_exec, plan=faults, registry=registry,
+        )
 
     func_report = None
     if data is not None:
@@ -183,6 +211,111 @@ def _run(
     )
 
 
+def _run_resilient(
+    shape: GemmShape,
+    cluster: ClusterConfig,
+    decision: TuningDecision,
+    *,
+    data: GemmOperands | None,
+    timing: TimingMode,
+    dtype: str,
+    kernel_exec: str,
+    plan: FaultPlan,
+    registry: KernelRegistry,
+) -> GemmResult:
+    """The fault-plan execution path: inject, recover, account honestly.
+
+    Functional and timed execution each run a re-dispatch loop: a
+    :class:`~repro.errors.CoreFailureError` restores the C snapshot
+    (functional) or accounts the lost simulated time (timed), shrinks the
+    cluster by the failed core, re-tunes the *same* strategy for the
+    survivors and retries with the next attempt's injector.  A plan's
+    ``core_faults`` arm one failure per attempt, so the loop always
+    terminates.  Unrecoverable faults (retry budgets exhausted, last core
+    lost) propagate as typed :class:`~repro.errors.FaultError`\\ s.
+
+    Timing ``"auto"`` forces DES: injection acts on simulated transfers
+    and cores, which the analytic closed forms cannot see.
+    """
+    report = FaultReport(seed=plan.seed)
+    final_cores = cluster.n_cores
+
+    func_report = None
+    if data is not None:
+        c_snapshot = data.c.copy()
+        cluster_f, decision_f = cluster, decision
+        attempt = 0
+        while True:
+            inj = FaultInjector(plan, attempt)
+            try:
+                ex = _lower(
+                    shape, cluster_f, decision_f, data, registry,
+                    kernel_exec, faults=inj,
+                )
+                func_report = run_functional(ex, faults=inj)
+                report.absorb(inj.counters)
+                break
+            except CoreFailureError:
+                report.absorb(inj.counters)
+                if cluster_f.n_cores <= 1:
+                    raise
+                report.redispatches += 1
+                data.c[...] = c_snapshot
+                cluster_f = cluster_f.with_cores(cluster_f.n_cores - 1)
+                decision_f = _retune(shape, cluster_f, decision, dtype)
+                attempt += 1
+        final_cores = min(final_cores, cluster_f.n_cores)
+
+    mode = timing
+    if mode == "auto":
+        mode = "des"  # injection needs the discrete-event timeline
+    timed: TimedResult | None = None
+    if mode == "des":
+        cluster_t, decision_t = cluster, decision
+        attempt = 0
+        lost_s = 0.0
+        while True:
+            inj = FaultInjector(plan, attempt)
+            try:
+                timed = run_timed(
+                    _lower(shape, cluster_t, decision_t, None, registry),
+                    faults=inj,
+                )
+                report.absorb(inj.counters)
+                break
+            except CoreFailureError as exc:
+                report.absorb(inj.counters)
+                if cluster_t.n_cores <= 1:
+                    raise
+                report.redispatches += 1
+                lost_s += exc.at_s
+                cluster_t = cluster_t.with_cores(cluster_t.n_cores - 1)
+                decision_t = _retune(shape, cluster_t, decision, dtype)
+                attempt += 1
+        if lost_s:
+            # the honest wall clock: work thrown away before each failure
+            # plus the completed run on the survivors
+            timed = replace(timed, seconds=timed.seconds + lost_s)
+        report.lost_s = lost_s
+        final_cores = min(final_cores, cluster_t.n_cores)
+    elif mode == "analytic":
+        timed = _analytic(shape, cluster, decision, registry)
+    elif mode != "none":
+        raise PlanError(f"unknown timing mode {timing!r}")
+
+    report.final_cores = final_cores
+    return GemmResult(
+        shape=shape,
+        strategy=decision.strategy,
+        decision=decision,
+        timing=timed,
+        functional=func_report,
+        timing_mode=mode,
+        n_cores=final_cores,
+        faults=report,
+    )
+
+
 def ftimm_gemm(
     m: int,
     n: int,
@@ -198,6 +331,7 @@ def ftimm_gemm(
     adjust: bool = True,
     dtype: str = "f32",
     kernel_exec: str = "numpy",
+    faults: FaultPlan | None = None,
 ) -> GemmResult:
     """Run ``C += A @ B`` with ftIMM on the simulated GPDSP cluster.
 
@@ -210,6 +344,11 @@ def ftimm_gemm(
     functional kernels compute: ``"numpy"`` (fast), or
     ``"compiled"``/``"interp"`` for ISA-fidelity execution of the
     generated instruction streams.
+
+    ``faults`` arms seeded fault injection with resilient execution: the
+    run either completes with the exact blocked result (recoveries and
+    their cost reported in ``result.faults``) or raises a typed
+    :class:`~repro.errors.FaultError` — never a silent wrong answer.
     """
     shape = GemmShape(m, n, k)
     cluster = (machine or default_machine()).cluster
@@ -221,7 +360,7 @@ def ftimm_gemm(
     )
     return _run(
         shape, cluster, decision, a=a, b=b, c=c, timing=timing, dtype=dtype,
-        kernel_exec=kernel_exec,
+        kernel_exec=kernel_exec, faults=faults,
     )
 
 
@@ -237,6 +376,7 @@ def tgemm_gemm(
     cores: int | None = None,
     timing: TimingMode = "auto",
     kernel_exec: str = "numpy",
+    faults: FaultPlan | None = None,
 ) -> GemmResult:
     """Run ``C += A @ B`` with the traditional TGEMM implementation."""
     shape = GemmShape(m, n, k)
@@ -250,7 +390,7 @@ def tgemm_gemm(
     )
     return _run(
         shape, cluster, decision, a=a, b=b, c=c, timing=timing,
-        kernel_exec=kernel_exec,
+        kernel_exec=kernel_exec, faults=faults,
     )
 
 

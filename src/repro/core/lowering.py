@@ -18,7 +18,7 @@ from typing import Callable, Iterator
 
 import numpy as np
 
-from ..errors import PlanError
+from ..errors import InputError, PlanError
 from ..hw.cluster import ClusterSpaces
 from ..hw.config import ClusterConfig
 from ..hw.dma import DmaDescriptor
@@ -60,18 +60,36 @@ class GemmOperands:
 
     @classmethod
     def check(cls, shape: GemmShape, a, b, c, dtype: str = "f32") -> "GemmOperands":
+        """Validate operands at the API boundary.
+
+        Raises :class:`~repro.errors.InputError` (a :class:`PlanError`
+        subclass) for anything unusable: non-array operands, wrong rank,
+        wrong dtype, shape mismatches against ``shape``, and non-finite
+        entries in A or B — a NaN/Inf input would otherwise poison the
+        whole result and defeat the ABFT checksums, which must assume
+        finite inputs.
+        """
         expected = DTYPE_NUMPY[dtype]
         for name, arr in (("A", a), ("B", b), ("C", c)):
+            if not isinstance(arr, np.ndarray):
+                raise InputError(
+                    f"{name} must be a numpy array, got {type(arr).__name__}"
+                )
+            if arr.ndim != 2:
+                raise InputError(f"{name} must be 2-D, got {arr.ndim}-D")
             if arr.dtype != expected:
-                raise PlanError(
+                raise InputError(
                     f"{name} must be {np.dtype(expected).name}, got {arr.dtype}"
                 )
         if a.shape != (shape.m, shape.k):
-            raise PlanError(f"A shape {a.shape} != {(shape.m, shape.k)}")
+            raise InputError(f"A shape {a.shape} != {(shape.m, shape.k)}")
         if b.shape != (shape.k, shape.n):
-            raise PlanError(f"B shape {b.shape} != {(shape.k, shape.n)}")
+            raise InputError(f"B shape {b.shape} != {(shape.k, shape.n)}")
         if c.shape != (shape.m, shape.n):
-            raise PlanError(f"C shape {c.shape} != {(shape.m, shape.n)}")
+            raise InputError(f"C shape {c.shape} != {(shape.m, shape.n)}")
+        for name, arr in (("A", a), ("B", b)):
+            if not np.isfinite(arr).all():
+                raise InputError(f"{name} contains NaN or Inf entries")
         return cls(a, b, c)
 
 
@@ -92,6 +110,7 @@ class LoweringContext:
         registry: KernelRegistry | None = None,
         dtype: str = "f32",
         kernel_exec: str = "numpy",
+        faults=None,
     ) -> None:
         self.cluster = cluster
         self.shape = shape
@@ -106,6 +125,28 @@ class LoweringContext:
                 "expected 'numpy', 'compiled' or 'interp'"
             )
         self.kernel_exec = kernel_exec
+        #: optional :class:`~repro.faults.inject.FaultInjector`; when set,
+        #: tile stores and kernel applications route through its guards
+        #: (read-back verified copies, ABFT-checked GEMMs).  When ``None``
+        #: the fast paths below are plain assignment / ``apply_exec`` —
+        #: guaranteeing bit-identical results to a build without faults.
+        self.faults = faults
+
+    # -- fault-guarded primitives ------------------------------------------
+
+    def store(self, dst: np.ndarray, src: np.ndarray, core: int = 0) -> None:
+        """``dst[...] = src``, read-back verified when faults are armed."""
+        if self.faults is None:
+            dst[...] = src
+        else:
+            self.faults.guarded_copy(dst, src, core)
+
+    def apply_kernel(self, kern, a, b, c, core: int = 0) -> None:
+        """Tile GEMM ``c += a @ b``, ABFT-checked when faults are armed."""
+        if self.faults is None:
+            kern.apply_exec(a, b, c, self.kernel_exec)
+        else:
+            self.faults.guarded_gemm(kern, a, b, c, self.kernel_exec, core)
 
     @property
     def backed(self) -> bool:
@@ -138,26 +179,26 @@ class LoweringContext:
     # -- functional closures -------------------------------------------------
 
     def copy_in(
-        self, buf: Buffer, src: np.ndarray, rows: int, cols: int
+        self, buf: Buffer, src: np.ndarray, rows: int, cols: int, core: int = 0
     ) -> Callable[[], None] | None:
         if not self.backed:
             return None
         dst = buf.array()
 
         def run() -> None:
-            dst[:rows, :cols] = src
+            self.store(dst[:rows, :cols], src, core)
 
         return run
 
     def copy_out(
-        self, dst: np.ndarray, buf: Buffer, rows: int, cols: int
+        self, dst: np.ndarray, buf: Buffer, rows: int, cols: int, core: int = 0
     ) -> Callable[[], None] | None:
         if not self.backed:
             return None
         src = buf.array()
 
         def run() -> None:
-            dst[:] = src[:rows, :cols]
+            self.store(dst, src[:rows, :cols], core)
 
         return run
 

@@ -39,12 +39,14 @@ def build_parallel_k(
     adjust: bool = True,
     pingpong: bool = True,
     kernel_exec: str = "numpy",
+    faults=None,
 ) -> GemmExecution:
     """Lower a GEMM to the K-parallel strategy's op streams.
 
     ``pingpong=False`` single-buffers B_a and A_s (double-buffering
     ablation).  ``kernel_exec`` selects how KERNEL closures compute (see
-    :class:`~repro.core.lowering.LoweringContext`).
+    :class:`~repro.core.lowering.LoweringContext`).  ``faults`` routes
+    tile stores and kernel applications through the injector's guards.
     """
     if plan is None:
         plan = KPlan()
@@ -54,7 +56,7 @@ def build_parallel_k(
         plan = plan.validate(cluster)
     ctx = LoweringContext(
         cluster, shape, data, registry, dtype=plan.dtype,
-        kernel_exec=kernel_exec,
+        kernel_exec=kernel_exec, faults=faults,
     )
     n_cores = cluster.n_cores
     builder = OpStreamBuilder(n_cores)
@@ -128,6 +130,7 @@ def build_parallel_k(
                                 ],
                                 kc,
                                 nar,
+                                core,
                             )
                             if ctx.backed
                             else None,
@@ -151,6 +154,7 @@ def build_parallel_k(
                                     ],
                                     ms_r,
                                     kc,
+                                    core,
                                 )
                                 if ctx.backed
                                 else None,
@@ -172,13 +176,14 @@ def build_parallel_k(
                                     ms_r=ms_r,
                                     kc=kc,
                                     nar=nar,
-                                    mode=ctx.kernel_exec,
+                                    core=core,
                                 ) -> None:
-                                    kern.apply_exec(
+                                    ctx.apply_kernel(
+                                        kern,
                                         as_arr[:ms_r, :kc],
                                         ba_arr[:kc, :nar],
                                         ca_arr[u0 : u0 + ms_r, :nar],
-                                        mode,
+                                        core,
                                     )
 
                             kidx = builder.kernel(

@@ -32,6 +32,7 @@ def build_parallel_m(
     adjust: bool = True,
     pingpong: bool = True,
     kernel_exec: str = "numpy",
+    faults=None,
 ) -> GemmExecution:
     """Lower a GEMM to the M-parallel strategy's op streams.
 
@@ -39,6 +40,8 @@ def build_parallel_m(
     paper's double-buffering scheme): each DMA then serializes against the
     compute consuming its buffer.  ``kernel_exec`` selects how KERNEL
     closures compute (see :class:`~repro.core.lowering.LoweringContext`).
+    ``faults`` routes tile stores and kernel applications through the
+    injector's recovery guards.
     """
     if plan is None:
         plan = MPlan()
@@ -48,7 +51,7 @@ def build_parallel_m(
         plan = plan.validate(cluster)
     ctx = LoweringContext(
         cluster, shape, data, registry, dtype=plan.dtype,
-        kernel_exec=kernel_exec,
+        kernel_exec=kernel_exec, faults=faults,
     )
     n_cores = cluster.n_cores
     builder = OpStreamBuilder(n_cores)
@@ -79,8 +82,10 @@ def build_parallel_m(
                     bg_arr = b_g[jslot].array()
                     src = ctx.data.b[j0 + rs : j0 + rs + re, i0 : i0 + ncg]
 
-                    def run(bg_arr=bg_arr, rs=rs, re=re, ncg=ncg, src=src) -> None:
-                        bg_arr[rs : rs + re, :ncg] = src
+                    def run(
+                        bg_arr=bg_arr, rs=rs, re=re, ncg=ncg, src=src, core=core
+                    ) -> None:
+                        ctx.store(bg_arr[rs : rs + re, :ncg], src, core)
 
                 builder.dma(
                     core,
@@ -105,6 +110,7 @@ def build_parallel_m(
                             ctx.data.c[t0 : t0 + mr, i0 + ii0 : i0 + ii0 + nc],
                             mr,
                             nc,
+                            core,
                         )
                         if ctx.backed
                         else None,
@@ -120,11 +126,14 @@ def build_parallel_m(
                             ba_arr = ba_buf.array()
 
                             def run(
-                                ba_arr=ba_arr, bg_arr=bg_arr, jj0=jj0, ii0=ii0, kc=kc, nc=nc
+                                ba_arr=ba_arr, bg_arr=bg_arr, jj0=jj0, ii0=ii0,
+                                kc=kc, nc=nc, core=core
                             ) -> None:
-                                ba_arr[:kc, :nc] = bg_arr[
-                                    jj0 : jj0 + kc, ii0 : ii0 + nc
-                                ]
+                                ctx.store(
+                                    ba_arr[:kc, :nc],
+                                    bg_arr[jj0 : jj0 + kc, ii0 : ii0 + nc],
+                                    core,
+                                )
 
                         builder.dma(
                             core,
@@ -150,6 +159,7 @@ def build_parallel_m(
                                     ],
                                     ms_r,
                                     kc,
+                                    core,
                                 )
                                 if ctx.backed
                                 else None,
@@ -171,13 +181,14 @@ def build_parallel_m(
                                     ms_r=ms_r,
                                     kc=kc,
                                     nc=nc,
-                                    mode=ctx.kernel_exec,
+                                    core=core,
                                 ) -> None:
-                                    kern.apply_exec(
+                                    ctx.apply_kernel(
+                                        kern,
                                         as_arr[:ms_r, :kc],
                                         ba_arr[:kc, :nc],
                                         ca_arr[tt0 : tt0 + ms_r, :nc],
-                                        mode,
+                                        core,
                                     )
 
                             last_kernel = builder.kernel(
@@ -197,6 +208,7 @@ def build_parallel_m(
                             ca_buf,
                             mr,
                             nc,
+                            core,
                         )
                         if ctx.backed
                         else None,

@@ -37,10 +37,13 @@ def build_tgemm(
     registry: KernelRegistry | None = None,
     *,
     kernel_exec: str = "numpy",
+    faults=None,
 ) -> GemmExecution:
     """Lower a GEMM to TGEMM's op streams."""
     plan = (plan or TgemmPlan()).validate(cluster)
-    ctx = LoweringContext(cluster, shape, data, registry, kernel_exec=kernel_exec)
+    ctx = LoweringContext(
+        cluster, shape, data, registry, kernel_exec=kernel_exec, faults=faults
+    )
     n_cores = cluster.n_cores
     builder = OpStreamBuilder(n_cores)
     m, n, k = shape.m, shape.n, shape.k
@@ -72,8 +75,10 @@ def build_tgemm(
                     ag_arr = a_g[jslot].array()
                     src = ctx.data.a[i0 + rs : i0 + rs + re, j0 : j0 + kc]
 
-                    def run(ag_arr=ag_arr, rs=rs, re=re, kc=kc, src=src) -> None:
-                        ag_arr[rs : rs + re, :kc] = src
+                    def run(
+                        ag_arr=ag_arr, rs=rs, re=re, kc=kc, src=src, core=core
+                    ) -> None:
+                        ctx.store(ag_arr[rs : rs + re, :kc], src, core)
 
                 builder.dma(
                     core,
@@ -95,7 +100,8 @@ def build_tgemm(
                     buffer="B_a",
                     slot=tslot,
                     run=ctx.copy_in(
-                        ba_buf, ctx.data.b[j0 : j0 + kc, t0 : t0 + nc], kc, nc
+                        ba_buf, ctx.data.b[j0 : j0 + kc, t0 : t0 + nc], kc, nc,
+                        core,
                     )
                     if ctx.backed
                     else None,
@@ -107,7 +113,8 @@ def build_tgemm(
                     buffer="C_a",
                     slot=tslot,
                     run=ctx.copy_in(
-                        ca_buf, ctx.data.c[i0 : i0 + mr, t0 : t0 + nc], mr, nc
+                        ca_buf, ctx.data.c[i0 : i0 + mr, t0 : t0 + nc], mr, nc,
+                        core,
                     )
                     if ctx.backed
                     else None,
@@ -122,8 +129,15 @@ def build_tgemm(
                         ag_arr = a_g[jslot].array()
                         as_arr = as_buf.array()
 
-                        def run(as_arr=as_arr, ag_arr=ag_arr, ii0=ii0, ms_r=ms_r, kc=kc) -> None:
-                            as_arr[:ms_r, :kc] = ag_arr[ii0 : ii0 + ms_r, :kc]
+                        def run(
+                            as_arr=as_arr, ag_arr=ag_arr, ii0=ii0, ms_r=ms_r,
+                            kc=kc, core=core
+                        ) -> None:
+                            ctx.store(
+                                as_arr[:ms_r, :kc],
+                                ag_arr[ii0 : ii0 + ms_r, :kc],
+                                core,
+                            )
 
                     builder.dma(
                         core,
@@ -149,13 +163,14 @@ def build_tgemm(
                             ms_r=ms_r,
                             kc=kc,
                             nc=nc,
-                            mode=ctx.kernel_exec,
+                            core=core,
                         ) -> None:
-                            kern.apply_exec(
+                            ctx.apply_kernel(
+                                kern,
                                 as_arr[:ms_r, :kc],
                                 ba_arr[:kc, :nc],
                                 ca_arr[ii0 : ii0 + ms_r, :nc],
-                                mode,
+                                core,
                             )
 
                     last_kernel = builder.kernel(
@@ -171,7 +186,8 @@ def build_tgemm(
                     ctx.desc(MemKind.AM, MemKind.DDR, mr, nc, "C_a->C"),
                     extra_deps=(last_kernel,) if last_kernel >= 0 else (),
                     run=ctx.copy_out(
-                        ctx.data.c[i0 : i0 + mr, t0 : t0 + nc], ca_buf, mr, nc
+                        ctx.data.c[i0 : i0 + mr, t0 : t0 + nc], ca_buf, mr, nc,
+                        core,
                     )
                     if ctx.backed
                     else None,

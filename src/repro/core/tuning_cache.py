@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -133,8 +135,26 @@ class TuningCache:
         )
 
     def save(self, path: str | Path) -> Path:
+        """Write atomically (temp file + rename in the same directory).
+
+        A crash mid-save leaves the previous cache intact instead of a
+        truncated JSON file that would poison every later load.
+        """
         path = Path(path)
-        path.write_text(self.to_json())
+        blob = self.to_json()
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent or Path("."), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return path
 
     @classmethod
@@ -155,10 +175,27 @@ class TuningCache:
 
     @classmethod
     def load(cls, path: str | Path) -> "TuningCache":
+        """Load a cache; a corrupt file is quarantined, not fatal.
+
+        Unparseable JSON (e.g. a file torn by an old non-atomic writer)
+        is renamed to ``<path>.bad`` and an empty cache returned, so
+        tuning falls back to re-searching instead of crashing — the
+        quarantine shows up as a ``tuner/cache/quarantined`` counter.
+        """
         path = Path(path)
         if not path.exists():
             return cls()
-        return cls.from_json(path.read_text())
+        try:
+            return cls.from_json(path.read_text())
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            m = _obs_current()
+            if m is not None:
+                m.counter("tuner/cache/quarantined").inc()
+            try:
+                os.replace(path, path.with_name(path.name + ".bad"))
+            except OSError:
+                pass
+            return cls()
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -46,3 +46,50 @@ class SimulationError(ReproError):
 
 class ShapeError(ReproError):
     """A GEMM problem shape is invalid (non-positive or overflowing)."""
+
+
+class InputError(PlanError):
+    """Operands handed to the API boundary are unusable (wrong rank,
+    dtype, shape mismatch, or non-finite entries).
+
+    Subclasses :class:`PlanError` so existing ``except PlanError`` callers
+    keep working; new code should catch :class:`InputError` directly.
+    """
+
+
+class FaultError(ReproError):
+    """Base class for errors raised while handling *injected* faults.
+
+    Raised only when a recovery mechanism exhausted its retries — a fault
+    that was recovered (DMA retry, ABFT recompute, core re-dispatch) never
+    surfaces as an exception.
+    """
+
+
+class DmaTransferError(FaultError):
+    """A DMA transfer kept failing after every retry-with-backoff."""
+
+
+class CorruptionError(FaultError):
+    """Tile data stayed corrupt after the ABFT/readback retry budget."""
+
+
+class CoreFailureError(FaultError):
+    """A DSP core failed mid-run.
+
+    Carries which ``core`` died and where (simulated ``at_s`` seconds for
+    timed runs, ``at_op`` op index for functional runs) so the resilient
+    driver can account the lost work before re-dispatching.
+    """
+
+    def __init__(self, core: int, at_s: float = 0.0, at_op: int = 0) -> None:
+        super().__init__(
+            f"core {core} failed (t={at_s:.3e}s, op={at_op})"
+        )
+        self.core = core
+        self.at_s = at_s
+        self.at_op = at_op
+
+
+class WorkerError(ReproError):
+    """A process-pool worker crashed or hung beyond the retry budget."""

@@ -31,8 +31,18 @@ class FunctionalReport:
     kernel_exec: str = "numpy"
 
 
-def run_functional(execution: GemmExecution) -> FunctionalReport:
-    """Run all op closures; the C operand passed at lowering is updated."""
+def run_functional(execution: GemmExecution, faults=None) -> FunctionalReport:
+    """Run all op closures; the C operand passed at lowering is updated.
+
+    ``faults`` (a :class:`~repro.faults.inject.FaultInjector`) arms the
+    core-failure model for this mode: before each op runs, the owning
+    core's executed-op count is checked against the armed fault, raising
+    :class:`~repro.errors.CoreFailureError` once it trips.  Tile-level
+    corruption is injected inside the closures themselves (the lowering
+    context routes copies and kernel applications through the injector's
+    guards), so a replay either computes the exact blocked result or
+    raises — never returns silently wrong data.
+    """
     ops = sorted(
         (op for core_ops in execution.core_ops for op in core_ops),
         key=lambda op: op.seq,
@@ -40,7 +50,12 @@ def run_functional(execution: GemmExecution) -> FunctionalReport:
     dma = kern = sync = 0
     bytes_moved = 0
     flops = 0
+    ops_done: dict[int, int] = {}
     for op in ops:
+        if faults is not None:
+            done = ops_done.get(op.core, 0)
+            faults.check_core_alive_functional(op.core, done)
+            ops_done[op.core] = done + 1
         if op.run is not None:
             op.run()
         if op.kind is OpKind.DMA:

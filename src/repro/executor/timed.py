@@ -80,6 +80,7 @@ def run_timed(
     record_bandwidth: bool = False,
     metrics: MetricsRegistry | None = None,
     profile: bool = False,
+    faults=None,
 ) -> TimedResult:
     """Simulate the plan and return elapsed time + utilization stats.
 
@@ -94,10 +95,20 @@ def run_timed(
     DMA-engine counters; ``profile=True`` — implied by an active registry —
     attaches a per-epoch :class:`~repro.obs.profile.RunProfile` to the
     result for bottleneck attribution.
+
+    ``faults`` (a :class:`~repro.faults.inject.FaultInjector`) arms the
+    fault model: DMA transfers may fail and retry with backoff (costed in
+    simulated time), the DDR port honours the plan's degradation windows,
+    and an armed core fault makes that core raise
+    :class:`~repro.errors.CoreFailureError` out of :meth:`Simulator.run`
+    the first time it issues work past the fault instant — the resilient
+    driver catches it and re-dispatches on the surviving cores.
     """
     if metrics is None:
         metrics = _obs_current()
-    cluster = ClusterSim(execution.cluster, record_bandwidth=record_bandwidth)
+    cluster = ClusterSim(
+        execution.cluster, record_bandwidth=record_bandwidth, faults=faults
+    )
     sim = cluster.sim
     n_cores = execution.cluster.n_cores
     prof = RunProfile(n_cores=n_cores) if (profile or metrics is not None) else None
@@ -143,6 +154,8 @@ def run_timed(
     def dma_proc(core: int, op, dep_events: list[Event], epoch: int):
         if dep_events:
             yield sim.all_of(dep_events)
+        if faults is not None:
+            faults.check_core_alive_timed(core, sim.now)
         start = sim.now
         yield cluster.cores[core].dma.issue(op.desc)
         if prof is not None:
@@ -156,6 +169,8 @@ def run_timed(
     def kernel_proc(core: int, op, dep_events: list[Event], epoch: int):
         if dep_events:
             yield sim.all_of(dep_events)
+        if faults is not None:
+            faults.check_core_alive_timed(core, sim.now)
         yield cluster.cores[core].run_kernel(op.cycles, tag=op.tag)
         duration = op.cycles / clock
         if prof is not None:

@@ -68,6 +68,7 @@ class SharedChannel:
         name: str = "",
         per_flow_cap: float | None = None,
         record_timeline: bool = False,
+        degradation: list[tuple[float, float, float]] | None = None,
     ) -> None:
         if bandwidth <= 0:
             raise SimulationError(f"channel {name!r}: bandwidth must be > 0")
@@ -81,17 +82,46 @@ class SharedChannel:
         self._flows: list[_Flow] = []
         self._last_t = sim.now
         self._epoch = 0
+        #: fault-injection degradation windows: sorted, non-overlapping
+        #: ``(start_s, end_s, factor)`` triples scaling the port bandwidth
+        #: during ``[start_s, end_s)``.  The fluid model stays exact: the
+        #: wake-up scheduler never projects a completion across a window
+        #: boundary, so every integration interval has a constant rate.
+        self._windows: tuple[tuple[float, float, float], ...] = tuple(
+            sorted(degradation or (), key=lambda w: w[0])
+        )
+        for start, end, factor in self._windows:
+            if not (0.0 <= start < end and 0.0 < factor <= 1.0):
+                raise SimulationError(
+                    f"channel {name!r}: bad degradation window "
+                    f"({start}, {end}, {factor})"
+                )
         #: optional (time, aggregate_rate_bytes_per_s) step samples; one
         #: entry per membership change when enabled
         self.timeline: list[tuple[float, float]] | None = (
             [] if record_timeline else None
         )
 
+    def _factor_at(self, t: float) -> float:
+        for start, end, factor in self._windows:
+            if start <= t < end:
+                return factor
+        return 1.0
+
+    def _next_boundary(self, t: float) -> float | None:
+        """The earliest window edge strictly after ``t``, if any."""
+        for start, end, _factor in self._windows:
+            if t < start:
+                return start
+            if t < end:
+                return end
+        return None
+
     def _aggregate_rate(self) -> float:
         n = len(self._flows)
         if n == 0:
             return 0.0
-        per_flow = self.bandwidth / n
+        per_flow = self.bandwidth * self._factor_at(self.sim.now) / n
         if self.per_flow_cap is not None:
             per_flow = min(per_flow, self.per_flow_cap)
         return per_flow * n
@@ -123,7 +153,7 @@ class SharedChannel:
     def current_rate(self) -> float:
         """Per-flow bandwidth right now (full bandwidth when idle)."""
         n = max(1, len(self._flows))
-        rate = self.bandwidth / n
+        rate = self.bandwidth * self._factor_at(self.sim.now) / n
         if self.per_flow_cap is not None:
             rate = min(rate, self.per_flow_cap)
         return rate
@@ -138,7 +168,9 @@ class SharedChannel:
         if dt <= 0 or not self._flows:
             return
         n = len(self._flows)
-        rate = self.bandwidth / n
+        # rate is constant over [last_t, now]: wake-ups are capped at
+        # window boundaries, so no interval straddles a factor change
+        rate = self.bandwidth * self._factor_at(now - dt) / n
         if self.per_flow_cap is not None:
             rate = min(rate, self.per_flow_cap)
         served = dt * rate
@@ -161,17 +193,26 @@ class SharedChannel:
             self._record()
 
     def _reschedule(self) -> None:
-        """Schedule a wake-up at the earliest projected completion."""
+        """Schedule a wake-up at the earliest projected completion.
+
+        With degradation windows the projection is capped at the next
+        window boundary: the wake-up there re-integrates at the old rate
+        and re-projects at the new one, keeping the fluid model exact
+        under a piecewise-constant port bandwidth.
+        """
         self._epoch += 1
         if not self._flows:
             return
         epoch = self._epoch
         n = len(self._flows)
-        rate = self.bandwidth / n
+        rate = self.bandwidth * self._factor_at(self.sim.now) / n
         if self.per_flow_cap is not None:
             rate = min(rate, self.per_flow_cap)
         min_remaining = min(f.remaining for f in self._flows)
         delay = min_remaining / rate
+        boundary = self._next_boundary(self.sim.now)
+        if boundary is not None:
+            delay = min(delay, boundary - self.sim.now)
         wake = Event(self.sim, name=f"wake:{self.name}")
         wake.wait(lambda _ev: self._on_wake(epoch))
         self.sim._schedule_at(self.sim.now + delay, wake, None)

@@ -71,11 +71,15 @@ class CoreSim:
         core_id: int,
         cluster_cfg: ClusterConfig,
         channels: dict[MemKind, Channel],
+        faults=None,
     ) -> None:
         self.sim = sim
         self.core_id = core_id
         self.cfg = cluster_cfg.core
-        self.dma = DmaEngine(sim, core_id, cluster_cfg.core, cluster_cfg.dma, channels)
+        self.dma = DmaEngine(
+            sim, core_id, cluster_cfg.core, cluster_cfg.dma, channels,
+            faults=faults,
+        )
         #: the vector pipeline runs one micro-kernel at a time.
         self.compute = Resource(sim, 1, name=f"vpu{core_id}")
         self.compute_cycles = 0
@@ -105,14 +109,22 @@ class ClusterSim:
         sim: Simulator | None = None,
         *,
         record_bandwidth: bool = False,
+        faults=None,
     ) -> None:
         self.cfg = cfg
         self.sim = sim or Simulator()
         achieved_ddr = cfg.ddr_bandwidth * cfg.dma.ddr_efficiency
+        degradation = None
+        if faults is not None and faults.plan.ddr_degradation:
+            degradation = [
+                (w.start_s, w.end_s, w.factor)
+                for w in faults.plan.ddr_degradation
+            ]
         self.ddr_channel = SharedChannel(
             self.sim, achieved_ddr, name="ddr",
             per_flow_cap=cfg.dma.channel_bandwidth,
             record_timeline=record_bandwidth,
+            degradation=degradation,
         )
         self.gsm_channel = SharedChannel(self.sim, cfg.gsm_bandwidth, name="gsm")
         local_bw = cfg.core.am_bytes_per_cycle * cfg.core.clock_hz
@@ -123,7 +135,8 @@ class ClusterSim:
         }
         channels[MemKind.SM] = channels[MemKind.AM]
         self.cores = [
-            CoreSim(self.sim, i, cfg, channels) for i in range(cfg.n_cores)
+            CoreSim(self.sim, i, cfg, channels, faults=faults)
+            for i in range(cfg.n_cores)
         ]
 
     def barrier(self, arrivals: list[Event], tag: str = "") -> Event:

@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Union
 
-from ..errors import PlanError
+from ..errors import DmaTransferError, PlanError
 from .bandwidth import LocalChannel, SharedChannel
 from .config import DmaConfig, DspCoreConfig
 from .event_sim import Event, Resource, Simulator
@@ -107,6 +107,7 @@ class DmaEngine:
         core_cfg: DspCoreConfig,
         dma_cfg: DmaConfig,
         channels: dict[MemKind, Channel],
+        faults=None,
     ) -> None:
         self.sim = sim
         self.core_id = core_id
@@ -117,6 +118,15 @@ class DmaEngine:
         self.startup_s = dma_cfg.startup_cycles / core_cfg.clock_hz
         self.bytes_moved = 0
         self.transfers = 0
+        #: optional :class:`~repro.faults.inject.FaultInjector`; when set,
+        #: transfers can fail (seeded) and are retried with exponential
+        #: backoff — every retry costed in simulated time.
+        self.faults = faults
+        self._issued = 0
+        #: failed-transfer retries performed, and the simulated seconds
+        #: they consumed (wasted transfer time + backoff)
+        self.retries = 0
+        self.retry_s = 0.0
         # observation-only accounting (never feeds back into timing):
         #: total seconds descriptors waited for a free engine channel
         self.queue_wait_s = 0.0
@@ -138,9 +148,41 @@ class DmaEngine:
         self.queue_wait_s += self.sim.now - t_request
         try:
             if desc.nbytes > 0:
-                yield self.sim.timeout(self.startup_s)
-                channel = self.channels[desc.medium]
-                yield channel.transfer(desc.effective_bytes(self.cfg), tag=desc.tag)
+                issue_idx = self._issued
+                self._issued += 1
+                attempt = 0
+                while True:
+                    t0 = self.sim.now
+                    yield self.sim.timeout(self.startup_s)
+                    channel = self.channels[desc.medium]
+                    yield channel.transfer(
+                        desc.effective_bytes(self.cfg), tag=desc.tag
+                    )
+                    inj = self.faults
+                    if inj is None or not inj.dma_transfer_fails(
+                        self.core_id, issue_idx, attempt
+                    ):
+                        break
+                    # transfer failed: the time it took is already spent;
+                    # back off exponentially, then re-issue from scratch
+                    attempt += 1
+                    wasted = self.sim.now - t0
+                    if attempt > inj.plan.max_dma_retries:
+                        self.retries += 1
+                        self.retry_s += wasted
+                        inj.count("dma_retries")
+                        inj.count("dma_retry_s", wasted)
+                        raise DmaTransferError(
+                            f"DMA {desc.tag!r} on core {self.core_id} failed "
+                            f"{attempt} times (giving up at "
+                            f"t={self.sim.now:.3e}s)"
+                        )
+                    backoff = inj.backoff_s(attempt, self.core_cfg.clock_hz)
+                    yield self.sim.timeout(backoff)
+                    self.retries += 1
+                    self.retry_s += wasted + backoff
+                    inj.count("dma_retries")
+                    inj.count("dma_retry_s", wasted + backoff)
                 self.bytes_moved += desc.nbytes
                 medium = desc.medium.value
                 self.bytes_by_medium[medium] = (

@@ -100,12 +100,17 @@ class KernelDiskCache:
         try:
             kern = kernel_from_dict(json.loads(raw), core)
         except Exception:
-            # corrupt/stale entry: drop it and regenerate
+            # corrupt/stale entry: quarantine it (rename to *.bad, kept
+            # for post-mortem instead of destroyed) and regenerate
             _count("disk_miss")
+            _count("quarantined")
             try:
-                path.unlink()
+                os.replace(path, path.with_suffix(".json.bad"))
             except OSError:
-                pass
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
             return None
         _count("disk_hit")
         return kern

@@ -19,6 +19,7 @@ description.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Any
@@ -62,17 +63,40 @@ def make_record(
 
 
 def append_record(path: str | Path, record: dict[str, Any]) -> Path:
-    """Append ``record`` as one JSON line; creates the file if missing."""
+    """Append ``record`` as one JSON line; creates the file if missing.
+
+    The line is serialized up front and written with a single ``write``
+    followed by flush + fsync, so a crash mid-append can truncate at most
+    the final line — earlier records are never left half-written, and
+    concurrent appenders (O_APPEND) never interleave within a record.
+    """
     if "schema" not in record:
         raise ReproError("run-log record missing 'schema'")
     path = Path(path)
+    line = json.dumps(record, sort_keys=True) + "\n"
     with path.open("a") as fh:
-        fh.write(json.dumps(record, sort_keys=True) + "\n")
+        fh.write(line)
+        fh.flush()
+        try:
+            os.fsync(fh.fileno())
+        except OSError:
+            pass  # some filesystems (or fds) refuse fsync; best effort
     return path
 
 
-def read_records(path: str | Path, schema: str = SCHEMA) -> list[dict[str, Any]]:
-    """All records in the log matching ``schema``, oldest first."""
+def read_records(
+    path: str | Path,
+    schema: str = SCHEMA,
+    *,
+    skip_invalid: bool = False,
+) -> list[dict[str, Any]]:
+    """All records in the log matching ``schema``, oldest first.
+
+    Invalid JSON raises :class:`~repro.errors.ReproError` by default —
+    a corrupt log should be noticed, not papered over.  Pass
+    ``skip_invalid=True`` (the CLI report path does) to drop unparseable
+    lines instead, so one torn write can't make history unreadable.
+    """
     path = Path(path)
     if not path.exists():
         return []
@@ -84,6 +108,8 @@ def read_records(path: str | Path, schema: str = SCHEMA) -> list[dict[str, Any]]
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
+            if skip_invalid:
+                continue
             raise ReproError(f"{path}:{line_no}: invalid JSON ({exc})") from None
         if record.get("schema") == schema:
             records.append(record)

@@ -19,6 +19,19 @@ project's conventions:
   each re-derives kernels through the registry, where the persistent disk
   cache (:mod:`repro.kernels.registry`) keeps them from repeating the
   parent's modulo scheduling.
+
+Hardening (all surfaced as ``parallel/*`` counters in :mod:`repro.obs`,
+so ``repro perf`` shows what the pool survived):
+
+* a crashed worker (:class:`BrokenProcessPool`) fails only the
+  uncollected items; they are resubmitted to a fresh pool up to
+  ``retries`` times before :class:`~repro.errors.WorkerError` is raised;
+* ``timeout`` (seconds per task) turns hung workers into retries the
+  same way — exceptions raised by ``fn`` itself always propagate
+  unchanged;
+* pools that cannot be created fall back to serial execution, and after
+  :data:`_BREAKER_LIMIT` consecutive such failures a process-wide breaker
+  stops attempting pools at all.
 """
 
 from __future__ import annotations
@@ -26,10 +39,41 @@ from __future__ import annotations
 import os
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import TypeVar
+
+from .errors import WorkerError
+from .obs.registry import current as _obs_current
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: consecutive pool-creation failures before giving up on pools entirely
+_BREAKER_LIMIT = 3
+
+_consecutive_pool_failures = 0
+_pool_disabled = False
+
+
+def _count(event: str, value: float = 1) -> None:
+    m = _obs_current()
+    if m is not None:
+        m.counter(f"parallel/{event}").inc(value)
+
+
+def _note_pool_ok() -> None:
+    global _consecutive_pool_failures
+    _consecutive_pool_failures = 0
+
+
+def _note_pool_failure() -> None:
+    global _consecutive_pool_failures, _pool_disabled
+    _consecutive_pool_failures += 1
+    _count("pool_failures")
+    if _consecutive_pool_failures >= _BREAKER_LIMIT and not _pool_disabled:
+        _pool_disabled = True
+        _count("breaker_trips")
 
 
 def default_jobs() -> int:
@@ -61,19 +105,90 @@ def parallel_map(
     jobs: int | None = None,
     *,
     chunksize: int = 1,
+    timeout: float | None = None,
+    retries: int = 1,
 ) -> list[R]:
     """``[fn(x) for x in items]``, fanned across processes.
 
     Results are returned in input order regardless of completion order.
     Serial fallback when the effective job count is 1, there are fewer
-    than two items, or the host refuses to fork a pool.
+    than two items, the host refuses to fork a pool, or the pool breaker
+    has tripped.
+
+    ``timeout`` bounds each task's wait in seconds; a task that times out
+    or dies with its worker is resubmitted to a fresh pool up to
+    ``retries`` times, then :class:`~repro.errors.WorkerError` is raised.
+    Exceptions raised by ``fn`` itself propagate unchanged on first
+    occurrence — they are the caller's bug, not pool weather.
     """
     seq: Sequence[T] = items if isinstance(items, Sequence) else list(items)
     jobs = resolve_jobs(jobs, len(seq))
-    if jobs == 1 or len(seq) < 2:
+    if jobs == 1 or len(seq) < 2 or _pool_disabled:
+        if _pool_disabled and jobs > 1 and len(seq) >= 2:
+            _count("serial_fallbacks")
         return [fn(x) for x in seq]
-    try:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            return list(pool.map(fn, seq, chunksize=chunksize))
-    except (OSError, PermissionError):
-        return [fn(x) for x in seq]
+    if timeout is None:
+        # fast path: Executor.map gets chunking; crashes fall through to
+        # the submit-based retry path below
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                out = list(pool.map(fn, seq, chunksize=chunksize))
+            _note_pool_ok()
+            return out
+        except (OSError, PermissionError):
+            _note_pool_failure()
+            _count("serial_fallbacks")
+            return [fn(x) for x in seq]
+        except BrokenProcessPool:
+            _count("worker_crashes")
+    return _submit_map(fn, seq, jobs, timeout, retries)
+
+
+def _submit_map(
+    fn: Callable[[T], R],
+    seq: Sequence[T],
+    jobs: int,
+    timeout: float | None,
+    retries: int,
+) -> list[R]:
+    """Submit-based map with per-task timeout and crash/hang retries."""
+    results: list = [None] * len(seq)
+    remaining = list(range(len(seq)))
+    for attempt in range(retries + 1):
+        if not remaining:
+            break
+        if attempt:
+            _count("retries", len(remaining))
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(jobs, len(remaining)))
+        except (OSError, PermissionError):
+            _note_pool_failure()
+            _count("serial_fallbacks")
+            for i in remaining:
+                results[i] = fn(seq[i])
+            return results
+        failed: list[int] = []
+        try:
+            futures = {i: pool.submit(fn, seq[i]) for i in remaining}
+            for i in remaining:
+                try:
+                    results[i] = futures[i].result(timeout=timeout)
+                except _FutureTimeout:
+                    _count("timeouts")
+                    futures[i].cancel()
+                    failed.append(i)
+                except BrokenProcessPool:
+                    _count("worker_crashes")
+                    failed.append(i)
+        finally:
+            # never block on a hung worker during shutdown; abandoned
+            # processes are reaped by the OS when they finish or die
+            pool.shutdown(wait=False, cancel_futures=True)
+        remaining = failed
+    if remaining:
+        raise WorkerError(
+            f"{len(remaining)} of {len(seq)} pool tasks still "
+            f"crashed or hung after {retries} retries"
+        )
+    _note_pool_ok()
+    return results
