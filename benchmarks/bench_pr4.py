@@ -1,0 +1,124 @@
+"""Saturation-sweep record for the serving-subsystem PR.
+
+Runs the reference overload mix through an offered-load sweep — batched
+server vs the one-call-per-request baseline, plus the three scheduling
+policies at the overload point — and writes ``BENCH_PR4.json`` at the
+repo root.  All numbers are simulated seconds from fixed seeds, so the
+file is reproducible bit-for-bit and diffs meaningfully across commits.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pr4.py [-o BENCH_PR4.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import time
+from pathlib import Path
+
+from repro.hw.config import default_machine
+from repro.obs import make_record
+from repro.serve import ServeConfig, make_requests, serve, sweep
+
+SEED = 42
+N_REQUESTS = 150
+QUEUE_CAP = 256
+LOADS_RPS = [30_000.0, 60_000.0, 120_000.0, 240_000.0]
+OVERLOAD_RPS = 120_000.0
+
+
+def _git_head() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def bench_saturation() -> tuple[dict, list[dict]]:
+    config = ServeConfig(policy="edf", queue_cap=QUEUE_CAP)
+    result = sweep(
+        "overload", LOADS_RPS, n_requests=N_REQUESTS, seed=SEED,
+        config=config, compare_naive=True,
+    )
+    print(result.render())
+    cluster = default_machine().cluster
+    records = []
+    for tag, points in (("batched", result.points),
+                        ("naive", result.naive_points)):
+        for p in points:
+            records.append(make_record(
+                shape=f"mix:overload@{p.offered_rps:.0f}rps",
+                impl="serve",
+                strategy=f"edf/{tag}",
+                cores=cluster.n_cores,
+                seconds=p.report.makespan_s,
+                gflops=p.report.throughput_gflops,
+                efficiency=(p.report.goodput_rps / p.offered_rps
+                            if p.offered_rps else 0.0),
+                bound="serve",
+            ))
+    return result.to_record_fields(), records
+
+
+def bench_policies() -> dict:
+    out = {}
+    for policy in ("fifo", "least_loaded", "edf"):
+        requests = make_requests(
+            "overload", rate_rps=OVERLOAD_RPS, n_requests=N_REQUESTS,
+            seed=SEED,
+        )
+        report = serve(
+            requests, ServeConfig(policy=policy, queue_cap=QUEUE_CAP)
+        )
+        out[policy] = {
+            "deadline_met": report.deadline_met,
+            "deadline_missed": report.deadline_missed,
+            "goodput_rps": report.goodput_rps,
+            "p99_s": report.latency_quantile(0.99),
+            "mean_batch": report.mean_batch_size,
+        }
+        print(f"  {policy:13s} met={report.deadline_met:3d} "
+              f"goodput={report.goodput_rps:8.0f} rps "
+              f"p99={report.latency_quantile(0.99) * 1e3:.3f} ms")
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("-o", "--output", default="BENCH_PR4.json")
+    args = parser.parse_args()
+
+    print(f"saturation sweep (seed={SEED}, n={N_REQUESTS}):")
+    sweep_fields, records = bench_saturation()
+    print(f"policies @ {OVERLOAD_RPS:.0f} rps:")
+    policies = bench_policies()
+
+    batched = sweep_fields["sweep"][-1]["goodput_rps"]
+    naive = sweep_fields["naive_sweep"][-1]["goodput_rps"]
+    payload = {
+        "commit": _git_head(),
+        "generated_at": time.time(),
+        "seed": SEED,
+        "n_requests": N_REQUESTS,
+        "queue_cap": QUEUE_CAP,
+        "saturation": sweep_fields,
+        "batched_vs_naive_at_saturation": batched / naive,
+        "policies_at_overload": policies,
+        "records": records,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}: batching x{batched / naive:.2f} at "
+          f"saturation, EDF meets {policies['edf']['deadline_met']} vs "
+          f"FIFO {policies['fifo']['deadline_met']} deadlines")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+"""CI serving smoke: the two claims the serve subsystem stands on.
+
+Replays the fixed-seed reference overload mix (``repro.serve.loadgen``)
+and fails (exit 1) unless both hold:
+
+1. **EDF meets strictly more deadlines than FIFO.**  Under overload the
+   deadline-aware policy must actually buy something — if EDF and FIFO
+   tie, either the mix no longer overloads the clusters or the policy
+   plumbing regressed to arrival order.
+
+2. **Batching beats one-call-per-request at saturation.**  The
+   offered-load sweep's highest point must show strictly higher goodput
+   with shape-bucketed batching than with ``max_batch=1``; otherwise the
+   batcher is pure overhead and the subsystem is not paying for itself.
+
+Both runs are deterministic (simulated time, fixed seed), so a failure
+here is a regression, not noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.serve import ServeConfig, make_requests, serve, sweep
+
+SEED = 42
+OVERLOAD_RPS = 120_000.0
+SWEEP_RPS = [60_000.0, 240_000.0]
+N_REQUESTS = 150
+QUEUE_CAP = 256
+
+
+def main(argv: list[str]) -> int:
+    seed = int(argv[1]) if len(argv) > 1 else SEED
+    failures = []
+
+    # -- claim 1: EDF strictly beats FIFO on deadlines under overload --
+    met = {}
+    for policy in ("fifo", "least_loaded", "edf"):
+        requests = make_requests(
+            "overload", rate_rps=OVERLOAD_RPS, n_requests=N_REQUESTS,
+            seed=seed,
+        )
+        report = serve(
+            requests, ServeConfig(policy=policy, queue_cap=QUEUE_CAP)
+        )
+        met[policy] = report.deadline_met
+        assert report.completed + report.shed + report.failed == N_REQUESTS
+    print(
+        f"deadlines met @ {OVERLOAD_RPS:.0f} rps (n={N_REQUESTS}, "
+        f"seed={seed}): " + "  ".join(f"{p}={m}" for p, m in met.items())
+    )
+    if not met["edf"] > met["fifo"]:
+        failures.append(
+            f"EDF must meet strictly more deadlines than FIFO, got "
+            f"edf={met['edf']} vs fifo={met['fifo']}"
+        )
+
+    # -- claim 2: batching beats the naive baseline at saturation --
+    result = sweep(
+        "overload", SWEEP_RPS, n_requests=N_REQUESTS, seed=seed,
+        config=ServeConfig(policy="edf", queue_cap=QUEUE_CAP),
+        compare_naive=True,
+    )
+    print(
+        f"saturation goodput @ {SWEEP_RPS[-1]:.0f} rps: "
+        f"batched={result.saturated_goodput_rps:.0f} rps vs "
+        f"naive={result.naive_saturated_goodput_rps:.0f} rps"
+    )
+    if not result.batching_wins_at_saturation:
+        failures.append(
+            "batched goodput must strictly beat the one-call-per-request "
+            "baseline at saturation"
+        )
+
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}")
+        return 1
+    print("OK: EDF beats FIFO on deadlines; batching wins at saturation")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -33,7 +33,16 @@ from .hw.config import MachineConfig, default_machine
 from .kernels.generator import MicroKernel
 from .kernels.registry import registry_for
 from .kernels.spec import KernelSpec
-from .obs import MetricsRegistry, ProfileScope, collecting
+from .obs import Histogram, MetricsRegistry, ProfileScope, collecting
+from .serve import (
+    GemmRequest,
+    ServeConfig,
+    ServeReport,
+    SweepResult,
+    make_requests,
+    serve,
+    sweep,
+)
 
 
 def generate_kernel(
@@ -63,9 +72,14 @@ __all__ = [
     "grouped_gemm",
     "HeteroResult",
     "hetero_gemm",
+    "GemmRequest",
     "GemmResult",
     "GemmShape",
+    "Histogram",
     "MultiClusterResult",
+    "ServeConfig",
+    "ServeReport",
+    "SweepResult",
     "TuningCache",
     "autotune",
     "multi_cluster_gemm",
@@ -80,5 +94,8 @@ __all__ = [
     "ftimm_gemm",
     "gemm",
     "generate_kernel",
+    "make_requests",
+    "serve",
+    "sweep",
     "tgemm_gemm",
 ]

@@ -11,6 +11,8 @@
     python -m repro kernel M N K [--table] [--asm] [--tgemm]
     python -m repro classify MxNxK
     python -m repro chaos [--seeds N] [--impl ftimm|tgemm|both]
+    python -m repro serve [--mix NAME] [--policy P] [--loads R1,R2,...]
+                          [--compare-naive] [--latency-table]
     python -m repro experiment fig3|fig4|fig5|fig6|fig7|tables|all
     python -m repro machine
 
@@ -179,6 +181,20 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _histogram_lines(reg) -> list[str]:
+    """One line per non-empty histogram in the registry."""
+    lines = []
+    for name, snap in sorted(reg.snapshot().items()):
+        if snap.get("type") != "histogram" or not snap["count"]:
+            continue
+        lines.append(
+            f"  {name}: n={snap['count']} "
+            f"p50={snap['p50'] * 1e3:.3f}ms p95={snap['p95'] * 1e3:.3f}ms "
+            f"p99={snap['p99'] * 1e3:.3f}ms max={snap['max'] * 1e3:.3f}ms"
+        )
+    return lines
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from .analysis.bottleneck import attribute, diff_records
     from .core.blocking import TgemmPlan
@@ -232,6 +248,12 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             print(label + ": " + "  ".join(
                 f"{k}={v:g}" for k, v in sorted(counts.items())
             ))
+
+    hist_lines = _histogram_lines(reg)
+    if hist_lines:
+        print()
+        print("histograms:")
+        print("\n".join(hist_lines))
 
     record = make_record(
         **report.to_record_fields(),
@@ -308,6 +330,63 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"{k}={v:g}" for k, v in sorted(fault_counts.items())
         ))
     return 0 if summary.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .obs import append_record, collecting, make_record
+    from .serve import ServeConfig, sweep
+
+    try:
+        loads = sorted(float(x) for x in args.loads.split(","))
+    except ValueError as exc:
+        raise ReproError(f"bad --loads: {exc}") from None
+    config = ServeConfig(
+        policy=args.policy,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait,
+        queue_cap=args.queue_cap,
+        by_digest=not args.no_digest,
+        warmup=not args.no_warmup,
+    )
+    with collecting() as reg:
+        result = sweep(
+            args.mix, loads,
+            n_requests=args.n, seed=args.seed, config=config,
+            arrivals=args.arrivals, compare_naive=args.compare_naive,
+        )
+    print(result.render())
+
+    hist_lines = _histogram_lines(reg)
+    if hist_lines:
+        print()
+        print("latency histograms (all sweep points pooled):")
+        print("\n".join(hist_lines))
+
+    if args.latency_table:
+        last = result.points[-1].report
+        print()
+        print(f"per-request latency at {result.points[-1].offered_rps:.0f} "
+              "rps (highest offered load):")
+        print(last.latency_table())
+
+    last = result.points[-1]
+    record = make_record(
+        shape=f"mix:{result.mix_name}",
+        impl="serve",
+        strategy=result.policy,
+        cores=default_machine().cluster.n_cores,
+        seconds=last.report.makespan_s,
+        gflops=last.report.throughput_gflops,
+        efficiency=(last.report.goodput_rps / last.offered_rps
+                    if last.offered_rps else 0.0),
+        bound="serve",
+        profile=result.to_record_fields(),
+        metrics=reg.snapshot(),
+    )
+    append_record(args.runlog, record)
+    print()
+    print(f"run-log: {args.runlog}")
+    return 0
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
@@ -459,6 +538,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--no-timed-probe", action="store_true",
                          help="skip the DES run with DMA failures")
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="online serving: offered-load sweep over a request mix",
+    )
+    from .serve import MIXES, POLICIES
+
+    p_serve.add_argument("--mix", choices=sorted(MIXES), default="overload")
+    p_serve.add_argument("--policy", choices=list(POLICIES),
+                         default="least_loaded")
+    p_serve.add_argument("--loads", default="30000,60000,120000,240000",
+                         help="comma-separated offered loads (requests/s)")
+    p_serve.add_argument("--n", type=int, default=150,
+                         help="requests per sweep point (default 150)")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--arrivals", choices=["poisson", "bursty"],
+                         default="poisson")
+    p_serve.add_argument("--max-batch", type=int, default=4,
+                         help="max requests coalesced per batch (default 4)")
+    p_serve.add_argument("--max-wait", type=float, default=5e-4,
+                         help="max bucket wait in seconds (default 5e-4)")
+    p_serve.add_argument("--queue-cap", type=int, default=64,
+                         help="admission queue bound (default 64)")
+    p_serve.add_argument("--no-digest", action="store_true",
+                         help="bucket B by object identity, not content")
+    p_serve.add_argument("--no-warmup", action="store_true",
+                         help="skip plan/kernel warmup (pay cold tunes)")
+    p_serve.add_argument("--compare-naive", action="store_true",
+                         help="also sweep the one-call-per-request baseline")
+    p_serve.add_argument("--latency-table", action="store_true",
+                         help="print the per-request latency table at the "
+                              "highest offered load")
+    p_serve.add_argument("--runlog", metavar="OUT.jsonl",
+                         default="runs.jsonl")
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
     p_exp.add_argument(

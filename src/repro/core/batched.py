@@ -11,21 +11,43 @@ fills, barriers, strategy setup) per call.  Two batching tools:
   in GSM once instead of once per element block.
 
 * :func:`batched_gemm` — arbitrary ``(a, b, c)`` triples: greedily groups
-  items that share the same B object and shape, runs each group with
-  :func:`grouped_gemm`, and reports the aggregate alongside the modeled
-  time of the naive one-call-per-item loop so the grouping win is visible.
+  items that share the same B, runs each group with :func:`grouped_gemm`,
+  and reports the aggregate alongside the modeled time of the naive
+  one-call-per-item loop so the grouping win is visible.
+
+Sharing is decided by **content digest** by default (:func:`b_digest`):
+two B arrays that are equal but distinct objects — the normal case for
+requests deserialized from a stream — still coalesce.  Pass
+``group_by="identity"`` to opt back into the old ``id(b)`` behaviour
+(e.g. when the caller guarantees object sharing and B is huge enough
+that hashing it matters).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import PlanError, ShapeError
+from ..faults.plan import FaultPlan
 from ..hw.config import MachineConfig, default_machine
 from .ftimm import GemmResult, ftimm_gemm
 from .shapes import GemmShape
+
+
+def b_digest(b: np.ndarray) -> str:
+    """Content digest of an operand: dtype + shape + bytes, blake2b-16.
+
+    Equal arrays (same dtype, shape and element bytes) digest equally even
+    when they are distinct objects or non-contiguous views.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(b.dtype).encode())
+    h.update(str(b.shape).encode())
+    h.update(np.ascontiguousarray(b).tobytes())
+    return h.hexdigest()
 
 
 @dataclass
@@ -78,11 +100,15 @@ def grouped_gemm(
     k: int | None = None,
     machine: MachineConfig | None = None,
     timing: str = "auto",
+    faults: FaultPlan | None = None,
 ) -> GroupedGemmResult:
     """Run ``C_i += A_i @ B`` for all i as one stacked GEMM.
 
     Either pass real operands (``a_blocks``/``b``/``c_blocks``) or, for a
-    timing-only estimate, pass ``m_blocks``/``n``/``k``.
+    timing-only estimate, pass ``m_blocks``/``n``/``k``.  ``faults`` arms
+    seeded fault injection on the stacked run (see :mod:`repro.faults`):
+    the group either completes exactly or raises a typed ``FaultError``
+    before any ``c_blocks`` entry is written back.
     """
     machine = machine or default_machine()
     if a_blocks is not None:
@@ -102,7 +128,7 @@ def grouped_gemm(
         total_m = stacked_a.shape[0]
         result = ftimm_gemm(
             total_m, n_, k_, a=stacked_a, b=b, c=stacked_c,
-            machine=machine, timing=timing,
+            machine=machine, timing=timing, faults=faults,
         )
         row = 0
         for c_i in c_blocks:
@@ -118,7 +144,9 @@ def grouped_gemm(
     if not m_blocks:
         raise ShapeError("empty group")
     total_m = sum(m_blocks)
-    result = ftimm_gemm(total_m, n, k, machine=machine, timing=timing)
+    result = ftimm_gemm(
+        total_m, n, k, machine=machine, timing=timing, faults=faults
+    )
     return GroupedGemmResult(
         shape=GemmShape(total_m, n, k), n_items=len(m_blocks), result=result
     )
@@ -129,16 +157,24 @@ def batched_gemm(
     *,
     machine: MachineConfig | None = None,
     timing: str = "auto",
+    group_by: str = "digest",
 ) -> BatchedGemmResult:
-    """Run a heterogeneous batch, grouping items that share a B operand."""
+    """Run a heterogeneous batch, grouping items that share a B operand.
+
+    ``group_by="digest"`` (default) treats equal-but-distinct B arrays as
+    shared; ``group_by="identity"`` requires the same object.
+    """
     machine = machine or default_machine()
     if not items:
         raise ShapeError("empty batch")
-    groups: dict[tuple[int, tuple[int, int]], list[int]] = {}
+    if group_by not in ("digest", "identity"):
+        raise PlanError(f"unknown group_by {group_by!r}")
+    groups: dict[tuple[object, tuple[int, int]], list[int]] = {}
     for idx, (a, b, c) in enumerate(items):
-        groups.setdefault((id(b), b.shape), []).append(idx)
+        key = b_digest(b) if group_by == "digest" else id(b)
+        groups.setdefault((key, b.shape), []).append(idx)
     out = BatchedGemmResult()
-    for (_bid, _bshape), indices in groups.items():
+    for (_bkey, _bshape), indices in groups.items():
         a_blocks = [items[i][0] for i in indices]
         c_blocks = [items[i][2] for i in indices]
         out.groups.append(

@@ -93,3 +93,19 @@ class CoreFailureError(FaultError):
 
 class WorkerError(ReproError):
     """A process-pool worker crashed or hung beyond the retry budget."""
+
+
+class OverloadError(ReproError):
+    """The serving layer shed a request: the admission queue was full.
+
+    Carries the request id and the queue capacity so shed responses are
+    attributable.  Shedding is always *loud* — a shed request gets a
+    response carrying this error and is counted, never dropped silently.
+    """
+
+    def __init__(self, req_id: int, capacity: int) -> None:
+        super().__init__(
+            f"request {req_id} shed: admission queue full (capacity {capacity})"
+        )
+        self.req_id = req_id
+        self.capacity = capacity

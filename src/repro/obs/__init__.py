@@ -21,6 +21,7 @@ from .registry import (
     Counter,
     Distribution,
     Gauge,
+    Histogram,
     MetricsRegistry,
     ProfileScope,
     Timer,
@@ -41,6 +42,7 @@ __all__ = [
     "Distribution",
     "EpochProfile",
     "Gauge",
+    "Histogram",
     "MetricsRegistry",
     "ProfileScope",
     "RunProfile",

@@ -1,0 +1,57 @@
+"""Online GEMM serving: the request-stream layer over the batched core.
+
+The paper's motivating workloads issue *streams* of small irregular
+GEMMs; this package turns the repository's building blocks — grouped
+batching (:mod:`repro.core.batched`), four independent GPDSP clusters
+(:mod:`repro.core.multi_cluster`'s cost model), cached plans/kernels and
+seeded fault injection — into a serving subsystem with throughput and
+latency numbers:
+
+* :mod:`repro.serve.request`   — requests, per-request records;
+* :mod:`repro.serve.loadgen`   — Poisson/bursty open-loop streams over
+  transformer / FEM / convnet shape mixes;
+* :mod:`repro.serve.batcher`   — shape-bucketed batching (max-wait /
+  max-batch, shared-B via content digest);
+* :mod:`repro.serve.scheduler` — per-cluster backends, FIFO /
+  least-loaded / EDF policies, bucket warmup;
+* :mod:`repro.serve.server`    — the simulated-time serve loop with
+  admission control, typed shedding and verified bit-exact responses;
+* :mod:`repro.serve.harness`   — offered-load sweeps and the
+  saturation-curve experiment (``repro serve`` on the CLI).
+"""
+
+from .batcher import Batch, ShapeBucketBatcher, bucket_key, bucket_label
+from .harness import SweepPoint, SweepResult, sweep
+from .loadgen import (
+    MIXES,
+    ShapeClass,
+    get_mix,
+    make_requests,
+)
+from .request import BatchRecord, GemmRequest, RequestRecord
+from .scheduler import POLICIES, ClusterBackend, Scheduler, WarmupReport
+from .server import ServeConfig, ServeReport, serve
+
+__all__ = [
+    "Batch",
+    "BatchRecord",
+    "ClusterBackend",
+    "GemmRequest",
+    "MIXES",
+    "POLICIES",
+    "RequestRecord",
+    "Scheduler",
+    "ServeConfig",
+    "ServeReport",
+    "ShapeBucketBatcher",
+    "ShapeClass",
+    "SweepPoint",
+    "SweepResult",
+    "WarmupReport",
+    "bucket_key",
+    "bucket_label",
+    "get_mix",
+    "make_requests",
+    "serve",
+    "sweep",
+]

@@ -1,0 +1,164 @@
+"""Dispatch of closed batches onto the four GPDSP clusters.
+
+Each cluster is an independent backend — the FT-m7032 gives every GPDSP
+cluster a private DDR port, so clusters serve concurrent batches without
+contending (the same observation :mod:`repro.core.multi_cluster` scales a
+*single* GEMM on; here it scales a *request stream*).  Operand staging
+into a cluster's memory partition is host-mediated and costed at the
+CPU's DDR bandwidth, exactly like multi-cluster B replication.
+
+Three pluggable policies:
+
+* ``fifo``         — batches are bound round-robin to clusters in close
+  order (static partitioning; a hot bucket can queue behind a busy
+  cluster while another sits idle — the honest baseline);
+* ``least_loaded`` — close order, but each batch goes to the cluster
+  that frees up earliest (greedy work-conserving list scheduling);
+* ``edf``          — batches wait in a central earliest-deadline-first
+  queue and clusters *pull* from it as they free, so a late-closing but
+  urgent batch overtakes patient bulk work.
+
+Warmup: steady-state serving must never pay plan search or kernel
+generation on the critical path, so the scheduler pre-tunes every
+distinct bucket shape class (populating the tuner and kernel caches)
+before the stream starts.  A batch whose bucket was *not* warmed is
+charged a modeled ``cold_tune_s`` penalty once per bucket — visible in
+the latency histograms, which is the point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.ftimm import ftimm_gemm
+from ..core.shapes import GemmShape
+from ..errors import PlanError
+from ..hw.config import MachineConfig
+from ..obs import current
+
+POLICIES = ("fifo", "least_loaded", "edf")
+
+#: warmup granularity: one tuning decision + kernel set per (N, K, dtype).
+WarmKey = tuple[int, int, str]
+
+
+@dataclass
+class ClusterBackend:
+    """One GPDSP cluster acting as an independent serving backend."""
+
+    idx: int
+    busy_until_s: float = 0.0
+    batches: int = 0
+    busy_s: float = 0.0
+
+    def charge(self, start_s: float, span_s: float) -> float:
+        """Occupy the backend for [start, start+span]; returns the finish."""
+        if start_s < self.busy_until_s:
+            raise PlanError(
+                f"cluster {self.idx}: start {start_s} before busy_until "
+                f"{self.busy_until_s}"
+            )
+        self.busy_until_s = start_s + span_s
+        self.batches += 1
+        self.busy_s += span_s
+        return self.busy_until_s
+
+
+@dataclass
+class WarmupReport:
+    """What pre-tuning did before the stream started."""
+
+    n_buckets: int = 0
+    wall_s: float = 0.0
+    keys: list[WarmKey] = field(default_factory=list)
+
+
+class Scheduler:
+    """Backend pool + policy state shared by the serve event loop."""
+
+    def __init__(
+        self,
+        *,
+        n_clusters: int,
+        policy: str,
+        cold_tune_s: float,
+        machine: MachineConfig,
+    ) -> None:
+        if policy not in POLICIES:
+            raise PlanError(
+                f"unknown policy {policy!r} (have {', '.join(POLICIES)})"
+            )
+        if n_clusters < 1:
+            raise PlanError("n_clusters must be >= 1")
+        self.policy = policy
+        self.cold_tune_s = cold_tune_s
+        self.machine = machine
+        self.backends = [ClusterBackend(i) for i in range(n_clusters)]
+        self._rr = 0
+        self._warmed: set[WarmKey] = set()
+
+    # -- cluster selection -------------------------------------------------
+
+    def pick_backend(self) -> ClusterBackend:
+        """Eager binding for fifo (round-robin) / least_loaded (greedy)."""
+        if self.policy == "fifo":
+            backend = self.backends[self._rr % len(self.backends)]
+            self._rr += 1
+            return backend
+        # least_loaded: earliest-free backend, lowest index on ties
+        return min(self.backends, key=lambda b: (b.busy_until_s, b.idx))
+
+    def idle_backend(self, now: float) -> ClusterBackend | None:
+        """An idle backend at ``now`` (EDF pull), or None."""
+        free = [b for b in self.backends if b.busy_until_s <= now]
+        return min(free, key=lambda b: b.idx) if free else None
+
+    def next_free_s(self) -> float:
+        return min(b.busy_until_s for b in self.backends)
+
+    # -- warmup ------------------------------------------------------------
+
+    def warm(self, shapes: list[tuple[GemmShape, str]]) -> WarmupReport:
+        """Pre-tune every distinct bucket class, off the critical path.
+
+        Runs a timing-only ftIMM call per distinct (N, K, dtype) — at a
+        representative M — which populates the tuner decision cache and
+        generates/caches the micro-kernels the steady state will reuse.
+        """
+        report = WarmupReport()
+        t0 = time.perf_counter()
+        for shape, dtype in shapes:
+            key: WarmKey = (shape.n, shape.k, dtype)
+            if key in self._warmed:
+                continue
+            ftimm_gemm(
+                shape.m, shape.n, shape.k,
+                machine=self.machine, timing="analytic",
+            )
+            self._warmed.add(key)
+            report.keys.append(key)
+            report.n_buckets += 1
+        report.wall_s = time.perf_counter() - t0
+        m = current()
+        if m is not None:
+            m.counter("serve/warmup/buckets").inc(report.n_buckets)
+        return report
+
+    def tune_penalty(self, key: WarmKey) -> float:
+        """Modeled cold-tuning cost; zero once the bucket class is warm."""
+        if key in self._warmed:
+            return 0.0
+        self._warmed.add(key)
+        m = current()
+        if m is not None:
+            m.counter("serve/tune/cold").inc()
+        return self.cold_tune_s
+
+    # -- accounting --------------------------------------------------------
+
+    def utilization(self, makespan_s: float) -> float:
+        if makespan_s <= 0:
+            return 0.0
+        busy = sum(b.busy_s for b in self.backends)
+        return busy / (makespan_s * len(self.backends))

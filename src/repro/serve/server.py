@@ -1,0 +1,567 @@
+"""The simulated-time serve loop: admit → batch → schedule → execute.
+
+:func:`serve` replays an open-loop request stream against the simulated
+machine and returns a :class:`ServeReport` with one record per request.
+The loop is a small discrete-event simulation (arrival, batch-timeout,
+batch-start and cluster-free events on one heap), entirely driven by
+simulated seconds — same seed + config replays the identical
+request-level latency table, bit for bit.
+
+Contracts, enforced rather than hoped for:
+
+* **No silent drops.** Every request ends ``completed``, ``shed`` (typed
+  :class:`~repro.errors.OverloadError`, counted) or ``failed`` (typed
+  ``FaultError`` after the re-dispatch budget, counted).
+* **Bit-exact responses.** With ``verify=True`` (default) every
+  completed response is compared against a standalone
+  :func:`~repro.core.ftimm.ftimm_gemm` of the request's own shape.  A
+  coalesced member whose stacked execution picked a different blocked
+  summation order is *repaired* to the standalone bits and counted in
+  ``verify_repaired`` — served bits are standalone bits, always.
+* **Honest accounting.** Failed fault-injection attempts charge their
+  modeled time to the cluster (``lost_s``), cold tunes are charged to
+  the batch that hit them, and shed requests stay in the tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace as dc_replace
+
+import numpy as np
+
+from ..analysis.tables import format_table
+from ..core.batched import GroupedGemmResult, grouped_gemm
+from ..core.ftimm import ftimm_gemm
+from ..core.shapes import GemmShape
+from ..errors import FaultError, OverloadError, PlanError
+from ..faults.plan import FaultPlan
+from ..hw.config import MachineConfig, default_machine
+from ..obs import current
+from .batcher import Batch, ShapeBucketBatcher, bucket_key, bucket_label
+from .request import (
+    COMPLETED,
+    FAILED,
+    LATENCY_TABLE_HEADERS,
+    SHED,
+    BatchRecord,
+    GemmRequest,
+    RequestRecord,
+)
+from .scheduler import Scheduler, WarmupReport
+
+FP32 = 4
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything that shapes a serve run (hashable, replayable)."""
+
+    policy: str = "least_loaded"
+    #: four clusters make coarse batches pack badly; stacking gains
+    #: saturate early, so a small cap wins at saturation (see harness)
+    max_batch: int = 4
+    max_wait_s: float = 5e-4
+    queue_cap: int = 64            # admitted requests not yet started
+    by_digest: bool = True         # shared-B detection via content digest
+    warmup: bool = True
+    cold_tune_s: float = 5e-4      # modeled un-warmed plan-search penalty
+    verify: bool = True
+    timing: str = "analytic"
+    faults: FaultPlan | None = None
+    max_redispatch: int = 2
+    n_clusters: int | None = None  # default: all the machine has
+
+    def __post_init__(self) -> None:
+        if self.queue_cap < 1:
+            raise PlanError("queue_cap must be >= 1")
+        if self.max_redispatch < 0:
+            raise PlanError("max_redispatch must be >= 0")
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one serve run."""
+
+    policy: str
+    config: ServeConfig
+    records: list[RequestRecord]
+    batches: list[BatchRecord]
+    warmup: WarmupReport
+    makespan_s: float
+    offered_rps: float
+    #: verification bookkeeping (None counts when verify was off)
+    verify_repaired: int = 0
+    redispatches: int = 0
+
+    # -- aggregates --------------------------------------------------------
+
+    def _count(self, status: str) -> int:
+        return sum(1 for r in self.records if r.status == status)
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def completed(self) -> int:
+        return self._count(COMPLETED)
+
+    @property
+    def shed(self) -> int:
+        return self._count(SHED)
+
+    @property
+    def failed(self) -> int:
+        return self._count(FAILED)
+
+    @property
+    def deadline_met(self) -> int:
+        return sum(1 for r in self.records if r.deadline_met is True)
+
+    @property
+    def deadline_missed(self) -> int:
+        return sum(
+            1 for r in self.records
+            if r.deadline_met is False or r.status in (SHED, FAILED)
+        )
+
+    @property
+    def goodput_rps(self) -> float:
+        """Completed requests that met their SLO (or had none), per second."""
+        if self.makespan_s <= 0:
+            return 0.0
+        good = sum(
+            1 for r in self.records
+            if r.status == COMPLETED and r.deadline_met is not False
+        )
+        return good / self.makespan_s
+
+    @property
+    def completed_rps(self) -> float:
+        return self.completed / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    @property
+    def throughput_gflops(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        flops = sum(
+            GemmShape(*map(int, r.shape.split("x"))).flops
+            for r in self.records if r.status == COMPLETED
+        )
+        return flops / self.makespan_s / 1e9
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batches:
+            return 0.0
+        return sum(b.n_items for b in self.batches) / len(self.batches)
+
+    def latency_quantile(self, q: float) -> float:
+        """Exact q-quantile of completed-request latency (seconds)."""
+        lats = sorted(
+            r.latency_s for r in self.records
+            if r.status == COMPLETED and r.latency_s is not None
+        )
+        if not lats:
+            return 0.0
+        idx = min(len(lats) - 1, max(0, int(np.ceil(q * len(lats))) - 1))
+        return lats[idx]
+
+    # -- rendering ---------------------------------------------------------
+
+    def latency_table(self, limit: int | None = None) -> str:
+        """The deterministic request-level table (the replay contract)."""
+        rows = [r.as_row() for r in self.records[:limit]]
+        return format_table(LATENCY_TABLE_HEADERS, rows)
+
+    def describe(self) -> str:
+        parts = [
+            f"policy {self.policy}: {self.n_requests} requests, "
+            f"{self.completed} completed, {self.shed} shed, "
+            f"{self.failed} failed",
+            f"  offered {self.offered_rps:.0f} rps -> goodput "
+            f"{self.goodput_rps:.0f} rps "
+            f"({self.throughput_gflops:.2f} GFLOPS sustained)",
+            f"  SLO: {self.deadline_met} met / {self.deadline_missed} missed",
+            f"  latency p50/p95/p99: "
+            f"{self.latency_quantile(0.50) * 1e3:.3f} / "
+            f"{self.latency_quantile(0.95) * 1e3:.3f} / "
+            f"{self.latency_quantile(0.99) * 1e3:.3f} ms",
+            f"  batches: {len(self.batches)} "
+            f"(mean size {self.mean_batch_size:.2f}), "
+            f"verify repaired {self.verify_repaired}, "
+            f"re-dispatches {self.redispatches}, "
+            f"warmed buckets {self.warmup.n_buckets}",
+        ]
+        return "\n".join(parts)
+
+
+@dataclass
+class _Execution:
+    """What executing one batch cost and produced."""
+
+    ok: bool
+    gemm_s: float = 0.0
+    tune_s: float = 0.0
+    stage_s: float = 0.0
+    lost_s: float = 0.0
+    redispatches: int = 0
+    repaired: int = 0
+    error: str | None = None
+    result: GroupedGemmResult | None = None
+
+    @property
+    def span_s(self) -> float:
+        return self.tune_s + self.stage_s + self.gemm_s + self.lost_s
+
+
+class _ServeLoop:
+    """One serve run's mutable state (kept off the public API)."""
+
+    def __init__(
+        self,
+        requests: list[GemmRequest],
+        config: ServeConfig,
+        machine: MachineConfig,
+    ) -> None:
+        self.config = config
+        self.machine = machine
+        self.requests = requests
+        self.batcher = ShapeBucketBatcher(
+            max_batch=config.max_batch,
+            max_wait_s=config.max_wait_s,
+            by_digest=config.by_digest,
+        )
+        self.sched = Scheduler(
+            n_clusters=config.n_clusters or machine.n_clusters,
+            policy=config.policy,
+            cold_tune_s=config.cold_tune_s,
+            machine=machine,
+        )
+        self.records: dict[int, RequestRecord] = {}
+        self.batch_records: list[BatchRecord] = []
+        self.pending = 0               # admitted, not yet started
+        self.verify_repaired = 0
+        self.redispatches = 0
+        self.last_finish_s = 0.0
+        self._events: list[tuple[float, int, str, object]] = []
+        self._seq = 0
+        #: EDF central queue: (deadline, close_s, batch_id, batch, execution)
+        self._ready: list[tuple[float, float, int, Batch, _Execution]] = []
+
+    # -- event plumbing ----------------------------------------------------
+
+    def _push(self, at_s: float, kind: str, payload: object) -> None:
+        heapq.heappush(self._events, (at_s, self._seq, kind, payload))
+        self._seq += 1
+
+    def run(self) -> None:
+        for req in self.requests:
+            self._push(req.arrival_s, "arrive", req)
+        while self._events:
+            now, _seq, kind, payload = heapq.heappop(self._events)
+            if kind == "arrive":
+                self._on_arrive(payload, now)
+            elif kind == "timeout":
+                batch = self.batcher.close_due(payload, now)
+                if batch is not None:
+                    self._on_close(batch, now)
+            elif kind == "start":
+                self.pending -= payload
+                self._gauge_queue()
+            elif kind == "free":
+                self._edf_pull(now)
+            else:  # pragma: no cover - defensive
+                raise PlanError(f"unknown event {kind!r}")
+        # end of stream: close what's still waiting
+        t_end = max(
+            [r.arrival_s for r in self.requests] + [self.last_finish_s]
+        )
+        for batch in self.batcher.drain(t_end):
+            self._on_close(batch, t_end)
+        # EDF queue drains against future frees
+        while self._ready:
+            now = max(t_end, self.sched.next_free_s())
+            self._edf_pull(now)
+
+    # -- handlers ----------------------------------------------------------
+
+    def _on_arrive(self, req: GemmRequest, now: float) -> None:
+        m = current()
+        if m is not None:
+            m.counter("serve/requests/offered").inc()
+        if self.pending >= self.config.queue_cap:
+            err = OverloadError(req.req_id, self.config.queue_cap)
+            self.records[req.req_id] = RequestRecord(
+                req_id=req.req_id,
+                klass=req.klass,
+                shape=str(req.shape),
+                arrival_s=req.arrival_s,
+                status=SHED,
+                deadline_s=req.deadline_s,
+                deadline_met=False if req.deadline_s is not None else None,
+                error=str(err),
+            )
+            if m is not None:
+                m.counter("serve/requests/shed").inc()
+            return
+        self.pending += 1
+        self._gauge_queue()
+        if m is not None:
+            m.counter("serve/requests/admitted").inc()
+        batch = self.batcher.add(req, now)
+        if batch is not None:
+            self._on_close(batch, now)
+        else:
+            key = bucket_key(req, by_digest=self.config.by_digest)
+            due = self.batcher.due_at(key)
+            # only the request that *opened* the bucket arms its timer;
+            # a bucket re-opened after a close gets a fresh event
+            if due is not None and due == req.arrival_s + self.batcher.max_wait_s:
+                self._push(due, "timeout", key)
+
+    def _on_close(self, batch: Batch, now: float) -> None:
+        execution = self._execute(batch)
+        if self.config.policy == "edf":
+            deadline = batch.deadline_s
+            heapq.heappush(self._ready, (
+                deadline if deadline is not None else float("inf"),
+                batch.close_s, batch.batch_id, batch, execution,
+            ))
+            self._edf_pull(now)
+            return
+        backend = self.sched.pick_backend()
+        start = max(now, backend.busy_until_s)
+        if start > now:
+            self._push(start, "start", batch.n_items)
+        else:
+            self.pending -= batch.n_items
+            self._gauge_queue()
+        self._finalize(batch, execution, backend, start)
+
+    def _edf_pull(self, now: float) -> None:
+        while self._ready:
+            backend = self.sched.idle_backend(now)
+            if backend is None:
+                return
+            _dl, _cs, _bid, batch, execution = heapq.heappop(self._ready)
+            self.pending -= batch.n_items
+            self._gauge_queue()
+            self._finalize(batch, execution, backend, now)
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute(self, batch: Batch) -> _Execution:
+        """Run the batch functionally + under the cost model.
+
+        Results do not depend on *when* the batch runs, so execution
+        happens at close time; only the accounting is placed on the
+        simulated timeline by :meth:`_finalize`.
+        """
+        cfg = self.config
+        m = current()
+        n, k, dtype, _b = batch.key
+        tune_s = self.sched.tune_penalty((n, k, dtype))
+        a_blocks = [r.a for r in batch.requests]
+        c_blocks = [r.c for r in batch.requests]
+        b = batch.requests[0].b
+        c_before = [r.c.copy() for r in batch.requests] if cfg.verify else None
+
+        # staging through the host into the cluster's memory partition:
+        # A blocks + one shared B in, C in and out
+        cpu_bw = self.machine.cpu.ddr_bandwidth
+        a_bytes = sum(r.shape.m * r.shape.k for r in batch.requests) * FP32
+        c_bytes = sum(r.shape.m * r.shape.n for r in batch.requests) * FP32
+        b_bytes = k * n * FP32
+        stage_s = (a_bytes + b_bytes + 2 * c_bytes) / cpu_bw
+
+        lost_s = 0.0
+        redispatches = 0
+        attempt = 0
+        while True:
+            faults = None
+            if cfg.faults is not None:
+                faults = dc_replace(
+                    cfg.faults,
+                    seed=cfg.faults.seed
+                    + 1_000 * attempt
+                    + 7 * batch.batch_id,
+                )
+            try:
+                result = grouped_gemm(
+                    a_blocks, b, c_blocks,
+                    machine=self.machine, timing=cfg.timing, faults=faults,
+                )
+                break
+            except FaultError as exc:
+                # the failed attempt's modeled time is honestly lost
+                lost_s += grouped_gemm(
+                    None, None, None,
+                    m_blocks=[r.shape.m for r in batch.requests],
+                    n=n, k=k,
+                    machine=self.machine, timing="analytic",
+                ).seconds
+                attempt += 1
+                redispatches += 1
+                if m is not None:
+                    m.counter("serve/redispatches").inc()
+                if attempt > cfg.max_redispatch:
+                    return _Execution(
+                        ok=False,
+                        tune_s=tune_s,
+                        stage_s=stage_s,
+                        lost_s=lost_s,
+                        redispatches=redispatches,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+
+        repaired = 0
+        if cfg.verify:
+            for req, c0 in zip(batch.requests, c_before):
+                standalone = c0.copy()
+                ftimm_gemm(
+                    req.shape.m, req.shape.n, req.shape.k,
+                    a=req.a, b=req.b, c=standalone,
+                    machine=self.machine, timing="none",
+                )
+                if not np.array_equal(standalone, req.c):
+                    # stacked blocking summed in a different order; the
+                    # served bits must be the standalone bits — repair
+                    req.c[...] = standalone
+                    repaired += 1
+            if repaired and m is not None:
+                m.counter("serve/verify/repaired").inc(repaired)
+
+        return _Execution(
+            ok=True,
+            gemm_s=result.seconds,
+            tune_s=tune_s,
+            stage_s=stage_s,
+            lost_s=lost_s,
+            redispatches=redispatches,
+            repaired=repaired,
+            result=result,
+        )
+
+    def _finalize(
+        self,
+        batch: Batch,
+        execution: _Execution,
+        backend,
+        start_s: float,
+    ) -> None:
+        m = current()
+        finish = backend.charge(start_s, execution.span_s)
+        if self.config.policy == "edf":
+            # a pull opportunity the moment this backend frees up
+            self._push(finish, "free", None)
+        self.last_finish_s = max(self.last_finish_s, finish)
+        self.verify_repaired += execution.repaired
+        self.redispatches += execution.redispatches
+        self.batch_records.append(BatchRecord(
+            batch_id=batch.batch_id,
+            bucket=bucket_label(batch.key),
+            n_items=batch.n_items,
+            close_s=batch.close_s,
+            start_s=start_s,
+            finish_s=finish,
+            cluster=backend.idx,
+            stacked_m=batch.stacked_m,
+            tune_s=execution.tune_s,
+            stage_s=execution.stage_s,
+            gemm_s=execution.gemm_s,
+            lost_s=execution.lost_s,
+            redispatches=execution.redispatches,
+            request_ids=[r.req_id for r in batch.requests],
+        ))
+        if m is not None:
+            m.counter("serve/batches").inc()
+            m.distribution("serve/batch/size").add(batch.n_items)
+        for req in batch.requests:
+            queue_s = batch.close_s - req.arrival_s
+            batch_s = start_s - batch.close_s
+            met = None
+            if req.deadline_s is not None:
+                met = execution.ok and finish <= req.deadline_s
+            status = COMPLETED if execution.ok else FAILED
+            self.records[req.req_id] = RequestRecord(
+                req_id=req.req_id,
+                klass=req.klass,
+                shape=str(req.shape),
+                arrival_s=req.arrival_s,
+                status=status,
+                queue_s=queue_s,
+                batch_s=batch_s,
+                compute_s=execution.span_s,
+                finish_s=finish,
+                deadline_s=req.deadline_s,
+                deadline_met=met,
+                batch_id=batch.batch_id,
+                batch_size=batch.n_items,
+                cluster=backend.idx,
+                bit_exact=(True if (execution.ok and self.config.verify)
+                           else None),
+                error=execution.error,
+            )
+            if m is not None:
+                m.counter(f"serve/requests/{status}").inc()
+                if met is True:
+                    m.counter("serve/deadline/met").inc()
+                elif met is False:
+                    m.counter("serve/deadline/missed").inc()
+                if execution.ok:
+                    lat = finish - req.arrival_s
+                    m.histogram("serve/latency/total_s").add(lat)
+                    m.histogram("serve/latency/queue_s").add(queue_s)
+                    m.histogram("serve/latency/batch_s").add(batch_s)
+                    m.histogram("serve/latency/compute_s").add(
+                        execution.span_s
+                    )
+
+    def _gauge_queue(self) -> None:
+        m = current()
+        if m is not None:
+            m.gauge("serve/queue/depth").set(self.pending)
+
+
+def serve(
+    requests: list[GemmRequest],
+    config: ServeConfig | None = None,
+    *,
+    machine: MachineConfig | None = None,
+) -> ServeReport:
+    """Serve an open-loop request stream; returns one record per request."""
+    config = config or ServeConfig()
+    machine = machine or default_machine()
+    if not requests:
+        raise PlanError("empty request stream")
+    ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
+
+    loop = _ServeLoop(ordered, config, machine)
+    warmup = WarmupReport()
+    if config.warmup:
+        seen: dict[tuple[int, int], GemmShape] = {}
+        for req in ordered:
+            seen.setdefault((req.shape.n, req.shape.k), req.shape)
+        warmup = loop.sched.warm([(s, "f32") for s in seen.values()])
+    loop.run()
+
+    records = [loop.records[r.req_id] for r in sorted(
+        ordered, key=lambda r: r.req_id
+    )]
+    if len(records) != len(ordered):  # pragma: no cover - contract guard
+        raise PlanError("a request was dropped silently")
+    last_arrival = max(r.arrival_s for r in ordered)
+    makespan = max(loop.last_finish_s, last_arrival)
+    return ServeReport(
+        policy=config.policy,
+        config=config,
+        records=records,
+        batches=sorted(loop.batch_records, key=lambda b: b.batch_id),
+        warmup=warmup,
+        makespan_s=makespan,
+        offered_rps=len(ordered) / last_arrival if last_arrival > 0 else 0.0,
+        verify_repaired=loop.verify_repaired,
+        redispatches=loop.redispatches,
+    )

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.batched import (
     BatchedGemmResult,
+    b_digest,
     batched_gemm,
     grouped_gemm,
     naive_batch_seconds,
@@ -81,6 +82,44 @@ class TestBatchedGemm:
     def test_empty_batch_rejected(self):
         with pytest.raises(ShapeError):
             batched_gemm([])
+
+    def test_distinct_but_equal_bs_coalesce(self):
+        """Content-digest grouping: copies of B land in ONE group."""
+        a_blocks, b, c_blocks, refs = make_group(4, seed=7)
+        items = [(a, b.copy(), c) for a, c in zip(a_blocks, c_blocks)]
+        assert all(
+            items[i][1] is not items[j][1]
+            for i in range(4) for j in range(i + 1, 4)
+        )
+        result = batched_gemm(items, timing="none")
+        assert len(result.groups) == 1
+        assert result.groups[0].n_items == 4
+        for c, ref in zip(c_blocks, refs):
+            np.testing.assert_allclose(c, ref, rtol=1e-3, atol=1e-3)
+
+    def test_identity_grouping_opt_out(self):
+        """group_by="identity" restores object-identity behaviour."""
+        a_blocks, b, c_blocks, _ = make_group(3, seed=8)
+        items = [(a, b.copy(), c) for a, c in zip(a_blocks, c_blocks)]
+        result = batched_gemm(items, timing="none", group_by="identity")
+        assert len(result.groups) == 3
+
+    def test_unknown_group_by_rejected(self):
+        a_blocks, b, c_blocks, _ = make_group(2)
+        items = [(a, b, c) for a, c in zip(a_blocks, c_blocks)]
+        with pytest.raises(PlanError):
+            batched_gemm(items, group_by="telepathy")
+
+    def test_b_digest_distinguishes_content(self):
+        b1 = np.arange(12, dtype=np.float32).reshape(3, 4)
+        assert b_digest(b1) == b_digest(b1.copy())
+        b2 = b1.copy()
+        b2[0, 0] += 1
+        assert b_digest(b1) != b_digest(b2)
+        # same bytes, different shape -> different digest
+        assert b_digest(b1) != b_digest(b1.reshape(4, 3))
+        # same values, different dtype -> different digest
+        assert b_digest(b1) != b_digest(b1.astype(np.float64))
 
     def test_aggregate_metrics(self):
         a_blocks, b, c_blocks, _ = make_group(4, m=512, n=32, k=16)

@@ -255,3 +255,43 @@ class TestPerfCommand:
         # table, and the bottleneck report
         assert "util" in out
         assert "verdict" in out
+
+
+class TestServeCommand:
+    def test_serve_sweep_runs_and_logs(self, capsys, tmp_path):
+        runlog = tmp_path / "runs.jsonl"
+        assert main([
+            "serve", "--mix", "fem", "--loads", "20000,40000",
+            "--n", "16", "--seed", "1", "--runlog", str(runlog),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serve sweep: mix=fem" in out
+        assert "goodput" in out
+        assert "serve/latency/total_s" in out
+        record = json.loads(runlog.read_text().splitlines()[-1])
+        assert record["impl"] == "serve"
+        assert record["shape"] == "mix:fem"
+        assert record["profile"]["sweep"][-1]["goodput_rps"] > 0
+
+    def test_serve_compare_naive_and_latency_table(self, capsys, tmp_path):
+        runlog = tmp_path / "runs.jsonl"
+        assert main([
+            "serve", "--mix", "fem", "--loads", "30000", "--n", "12",
+            "--compare-naive", "--latency-table",
+            "--runlog", str(runlog),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "naive baseline" in out
+        assert "per-request latency" in out
+        assert "completed" in out
+
+    def test_serve_policy_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--policy", "magic"])
+
+    def test_serve_bad_loads_reported_cleanly(self, capsys, tmp_path):
+        assert main([
+            "serve", "--loads", "two,hundred",
+            "--runlog", str(tmp_path / "r.jsonl"),
+        ]) == 1
+        assert "error" in capsys.readouterr().err

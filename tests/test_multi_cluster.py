@@ -41,6 +41,35 @@ class TestCorrectness:
         )
         assert_gemm_close(data.c, ref, shape.k)
 
+    def test_k_split_k_shorter_than_clusters(self):
+        """K=3 over 4 clusters: some clusters get empty K extents."""
+        shape = GemmShape(64, 16, 3)
+        data, ref = make_operands(shape, seed=6)
+        result = multi_cluster_gemm(
+            shape.m, shape.n, shape.k, n_clusters=4, split="k",
+            timing="none", a=data.a, b=data.b, c=data.c,
+        )
+        assert_gemm_close(data.c, ref, shape.k)
+        assert result.shape == shape
+
+    @pytest.mark.parametrize("split", ["m", "k"])
+    def test_single_cluster_bit_identical_to_plain(self, split):
+        """The 1-cluster degenerate split IS a plain ftimm_gemm call."""
+        from repro.core.ftimm import ftimm_gemm
+
+        shape = GemmShape(96, 16, 48)
+        data, _ = make_operands(shape, seed=7)
+        plain, _ = make_operands(shape, seed=7)
+        multi_cluster_gemm(
+            shape.m, shape.n, shape.k, n_clusters=1, split=split,
+            timing="none", a=data.a, b=data.b, c=data.c,
+        )
+        ftimm_gemm(
+            shape.m, shape.n, shape.k, timing="none",
+            a=plain.a, b=plain.b, c=plain.c,
+        )
+        assert np.array_equal(data.c, plain.c)
+
 
 class TestSplitSelection:
     def test_type1_prefers_m_split(self, machine):

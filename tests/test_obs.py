@@ -112,6 +112,90 @@ class TestRegistry:
         assert t.count == 1 and t.total >= 0.0
 
 
+class TestHistogram:
+    def test_quantiles_on_log_spaced_samples(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in [1e-4] * 90 + [1e-2] * 9 + [1.0]:
+            h.add(v)
+        assert h.count == 100
+        # p50 lands in the 1e-4 bin; quantile reads the bin's upper edge
+        assert 1e-4 <= h.quantile(0.50) <= 2e-4
+        assert 1e-2 <= h.quantile(0.95) <= 2e-2
+        assert h.quantile(1.0) == 1.0
+        pct = h.percentiles()
+        assert pct["p50"] <= pct["p95"] <= pct["p99"]
+
+    def test_quantile_error_bounded_by_bin_width(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", per_decade=4)
+        samples = [1.3e-3, 2.9e-3, 4.4e-3, 8.1e-3]
+        for v in samples:
+            h.add(v)
+        ratio = 10 ** (1 / 4)  # one bin width at 4 bins/decade
+        for q, exact in ((0.25, samples[0]), (1.0, samples[-1])):
+            est = h.quantile(q)
+            assert exact / ratio <= est <= exact * ratio
+
+    def test_under_and_overflow_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", lo_exp=-3, hi_exp=0)
+        h.add(1e-6)   # below 1e-3 -> underflow
+        h.add(5.0)    # above 1e0  -> overflow
+        assert h.counts[0] == 1 and h.counts[-1] == 1
+        assert h.quantile(0.5) == 1e-6   # clamped to observed min
+        assert h.quantile(1.0) == 5.0    # clamped to observed max
+
+    def test_empty_histogram(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        assert h.count == 0
+        assert h.quantile(0.5) == 0.0
+        snap = h.snapshot()
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_bad_bin_spec_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ReproError):
+            reg.histogram("bad", lo_exp=2, hi_exp=1)
+        with pytest.raises(ReproError):
+            reg.histogram("bad2", per_decade=0)
+
+    def test_bad_quantile_rejected(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        h.add(1.0)
+        with pytest.raises(ReproError):
+            h.quantile(0.0)
+        with pytest.raises(ReproError):
+            h.quantile(1.5)
+
+    def test_snapshot_round_trip(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", lo_exp=-5, hi_exp=1, per_decade=3)
+        for v in (1e-4, 3e-4, 2e-2, 0.5, 100.0):
+            h.add(v)
+        restored = MetricsRegistry.from_json(reg.to_json())
+        assert restored.snapshot() == reg.snapshot()
+        assert restored.histogram("lat").quantile(0.5) == h.quantile(0.5)
+
+    def test_histograms_prefix_listing(self):
+        reg = MetricsRegistry()
+        reg.histogram("serve/latency/total_s").add(1e-3)
+        reg.histogram("serve/latency/queue_s").add(1e-4)
+        reg.counter("serve/requests/completed").inc()
+        names = sorted(h.name for h in reg.histograms("serve/"))
+        assert names == [
+            "serve/latency/queue_s", "serve/latency/total_s",
+        ]
+
+    def test_kind_mismatch_with_histogram(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        with pytest.raises(ReproError):
+            reg.counter("h")
+
+
 class TestMergeIntervals:
     def test_overlapping_merged(self):
         assert merge_intervals([(0.0, 2.0), (1.0, 3.0)]) == pytest.approx(3.0)
