@@ -1,0 +1,228 @@
+"""CI tracing smoke: the claims the observability layer stands on.
+
+Runs the fixed-seed reference overload mix under the request tracer and
+fails (exit 1) unless all of the following hold:
+
+1. **The exported trace is schema-valid and self-consistent.**  The
+   Chrome trace passes :func:`repro.obs.validate_chrome_trace`, and for
+   every completed request the trace's span durations reconstruct the
+   serve record's latency decomposition (queue + batch-wait + compute =
+   latency) within float rounding.
+
+2. **Tracing is observation-only.**  The traced run's serve records are
+   bit-identical to the untraced run's.
+
+3. **SLO alerts are deterministic and load-selective.**  The saturated
+   overload mix fires at least one burn-rate alert; the light
+   transformer mix fires none.
+
+4. **Tracing overhead stays inside a fixed wall-clock budget.**  The
+   traced run may cost at most ``OVERHEAD_BUDGET_S`` extra wall time
+   over the untraced run (generous by construction — a regression here
+   means a hook landed on a hot path).
+
+5. **``repro perf --json`` emits the stable machine-readable schema.**
+   A subprocess run must print exactly one JSON object carrying the
+   run-log record's required fields.
+
+All runs are deterministic (simulated time, fixed seed), so a failure
+here is a regression, not noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trace_smoke.py [seed]
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis import from_spans
+from repro.obs import load_spans, tracing, validate_chrome_trace
+from repro.serve import ServeConfig, make_requests, monitor, serve
+
+SEED = 0
+OVERLOAD_RPS = 480_000.0
+LIGHT_RPS = 30_000.0
+N_REQUESTS = 120
+#: wall-clock budget for tracing overhead, per traced run (claim 4)
+OVERHEAD_BUDGET_S = 2.0
+#: the perf-smoke reference shape (see benchmarks/perf_smoke.py)
+PERF_SHAPE = (512, 32, 512)
+#: absolute slack for segment-sum reconstruction (claim 1), seconds
+ROUNDING_S = 1e-9
+
+PERF_RECORD_KEYS = {
+    "schema", "ts", "shape", "impl", "strategy", "cores",
+    "seconds", "gflops", "efficiency", "bound", "epochs",
+    "profile", "metrics",
+}
+
+
+def run_serve(mix: str, rate: float, seed: int):
+    requests = make_requests(
+        mix, rate_rps=rate, n_requests=N_REQUESTS, seed=seed
+    )
+    return serve(requests, ServeConfig())
+
+
+def main(argv: list[str]) -> int:
+    seed = int(argv[1]) if len(argv) > 1 else SEED
+    failures: list[str] = []
+
+    # baseline (untraced) and traced runs of the same overload stream
+    t0 = time.perf_counter()
+    baseline = run_serve("overload", OVERLOAD_RPS, seed)
+    untraced_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with tracing() as tracer:
+        traced = run_serve("overload", OVERLOAD_RPS, seed)
+    traced_s = time.perf_counter() - t0
+
+    # -- claim 2: observation-only ------------------------------------
+    if traced.records != baseline.records or traced.batches != baseline.batches:
+        failures.append("traced serve run diverged from the untraced run")
+
+    # -- claim 1: valid trace that reconstructs the decomposition -----
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "trace.json"
+        tracer.save(trace_path)
+        trace = json.loads(trace_path.read_text())
+        try:
+            validate_chrome_trace(trace)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            failures.append(f"exported trace failed validation: {exc}")
+        spans = load_spans(trace_path)
+    by_req: dict[int, dict[str, float]] = {}
+    for s in spans:
+        rid = s.args.get("req_id")
+        if rid is None or s.category not in ("queue", "batch-wait", "compute"):
+            continue
+        by_req.setdefault(int(rid), {})[s.category] = s.duration_s
+    checked = 0
+    for rec in traced.records:
+        if rec.status != "completed":
+            continue
+        segs = by_req.get(rec.req_id)
+        if segs is None or len(segs) != 3:
+            failures.append(f"request {rec.req_id}: missing segment spans")
+            continue
+        total = sum(segs.values())
+        if abs(total - rec.latency_s) > ROUNDING_S:
+            failures.append(
+                f"request {rec.req_id}: span sum {total:.3e}s != "
+                f"recorded latency {rec.latency_s:.3e}s"
+            )
+        if abs(segs["queue"] - rec.queue_s) > ROUNDING_S or \
+                abs(segs["batch-wait"] - rec.batch_s) > ROUNDING_S or \
+                abs(segs["compute"] - rec.compute_s) > ROUNDING_S:
+            failures.append(
+                f"request {rec.req_id}: per-segment spans disagree "
+                "with the serve record"
+            )
+        checked += 1
+    print(f"trace: {len(spans)} spans, {checked} completed requests "
+          "reconstructed from span sums")
+    if not checked:
+        failures.append("no completed requests to check — mix regressed?")
+
+    # the critical-path analyzer must explain (nearly) all of the latency
+    cp = from_spans(spans)
+    print(f"critical path: dominant={cp.tail_dominant} "
+          f"min_coverage={cp.min_coverage * 100:.2f}%")
+    if cp.min_coverage < 0.95:
+        failures.append(
+            f"critical-path coverage {cp.min_coverage:.3f} below 0.95"
+        )
+
+    # -- claim 3: SLO fire / no-fire ----------------------------------
+    slo_hot = monitor(traced.records)
+    print(f"slo overload@{OVERLOAD_RPS:.0f}: {slo_hot.bad_events}/"
+          f"{slo_hot.n_events} bad, {len(slo_hot.alerts)} alert(s)")
+    if not slo_hot.alerts:
+        failures.append("overload mix at saturation fired no SLO alert")
+    light = run_serve("transformer", LIGHT_RPS, seed)
+    slo_light = monitor(light.records)
+    print(f"slo transformer@{LIGHT_RPS:.0f}: {slo_light.bad_events}/"
+          f"{slo_light.n_events} bad, {len(slo_light.alerts)} alert(s)")
+    if slo_light.alerts:
+        failures.append("light transformer mix fired an SLO alert")
+
+    # -- claim 4: overhead budget -------------------------------------
+    overhead = traced_s - untraced_s
+    print(f"serve tracing overhead: {overhead * 1e3:.1f} ms "
+          f"(untraced {untraced_s * 1e3:.1f} ms, "
+          f"traced {traced_s * 1e3:.1f} ms, "
+          f"budget {OVERHEAD_BUDGET_S * 1e3:.0f} ms)")
+    if overhead > OVERHEAD_BUDGET_S:
+        failures.append(
+            f"serve tracing overhead {overhead:.2f}s over the "
+            f"{OVERHEAD_BUDGET_S:.1f}s budget"
+        )
+    # same budget on the perf-smoke reference shape's DES run
+    from repro.core.ftimm import ftimm_gemm
+
+    ftimm_gemm(*PERF_SHAPE, timing="des")  # warm plan + kernel caches
+    t0 = time.perf_counter()
+    plain = ftimm_gemm(*PERF_SHAPE, timing="des")
+    gemm_untraced_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    with tracing():
+        traced_gemm = ftimm_gemm(*PERF_SHAPE, timing="des")
+    gemm_traced_s = time.perf_counter() - t0
+    if traced_gemm.seconds != plain.seconds:
+        failures.append("traced GEMM modeled time diverged from untraced")
+    gemm_overhead = gemm_traced_s - gemm_untraced_s
+    print(f"gemm tracing overhead ({PERF_SHAPE[0]}x{PERF_SHAPE[1]}x"
+          f"{PERF_SHAPE[2]}): {gemm_overhead * 1e3:.1f} ms "
+          f"(budget {OVERHEAD_BUDGET_S * 1e3:.0f} ms)")
+    if gemm_overhead > OVERHEAD_BUDGET_S:
+        failures.append(
+            f"gemm tracing overhead {gemm_overhead:.2f}s over the "
+            f"{OVERHEAD_BUDGET_S:.1f}s budget"
+        )
+
+    # -- claim 5: repro perf --json schema ----------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "perf", "--shape", "512x32x256",
+             "--runlog", str(Path(tmp) / "runs.jsonl"), "--json"],
+            capture_output=True, text=True, timeout=600,
+        )
+        if proc.returncode != 0:
+            failures.append(f"repro perf --json exited {proc.returncode}: "
+                            f"{proc.stderr.strip()[:200]}")
+        else:
+            try:
+                record = json.loads(proc.stdout)
+            except json.JSONDecodeError:
+                record = None
+                failures.append("repro perf --json printed non-JSON output")
+            if record is not None:
+                missing = PERF_RECORD_KEYS - record.keys()
+                if missing:
+                    failures.append(
+                        f"perf --json record missing keys: {sorted(missing)}"
+                    )
+                else:
+                    print("perf --json: schema ok "
+                          f"({record['shape']}, {record['gflops']:.1f} GFLOPS)")
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print()
+    print("trace smoke: all claims hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,4 +1,4 @@
-"""Metrics, result-table, and bottleneck-attribution utilities."""
+"""Metrics, result-table, bottleneck- and critical-path-attribution."""
 
 from .ascii_plot import PlotConfig, render_chart
 from .bottleneck import (
@@ -7,20 +7,32 @@ from .bottleneck import (
     attribute,
     diff_records,
 )
+from .critical_path import (
+    SEGMENTS,
+    CriticalPathReport,
+    RequestPath,
+    critical_path,
+    from_spans,
+)
 from .metrics import efficiency, gflops, percent, speedup
 from .tables import Claim, ExperimentResult, Series, format_table
 
 __all__ = [
     "BottleneckReport",
     "Claim",
+    "CriticalPathReport",
     "EpochAttribution",
     "ExperimentResult",
     "PlotConfig",
+    "RequestPath",
+    "SEGMENTS",
     "Series",
     "attribute",
+    "critical_path",
     "diff_records",
     "efficiency",
     "format_table",
+    "from_spans",
     "gflops",
     "percent",
     "render_chart",

@@ -33,13 +33,25 @@ from .hw.config import MachineConfig, default_machine
 from .kernels.generator import MicroKernel
 from .kernels.registry import registry_for
 from .kernels.spec import KernelSpec
-from .obs import Histogram, MetricsRegistry, ProfileScope, collecting
+from .analysis import CriticalPathReport, critical_path
+from .obs import (
+    Histogram,
+    MetricsRegistry,
+    ProfileScope,
+    TraceSpan,
+    Tracer,
+    collecting,
+    tracing,
+)
 from .serve import (
     GemmRequest,
     ServeConfig,
     ServeReport,
+    SloPolicy,
+    SloReport,
     SweepResult,
     make_requests,
+    monitor,
     serve,
     sweep,
 )
@@ -63,6 +75,8 @@ __all__ = [
     "BatchedGemmResult",
     "ChaosSummary",
     "CoreFault",
+    "CriticalPathReport",
+    "critical_path",
     "DegradationWindow",
     "FaultPlan",
     "FaultReport",
@@ -79,7 +93,11 @@ __all__ = [
     "MultiClusterResult",
     "ServeConfig",
     "ServeReport",
+    "SloPolicy",
+    "SloReport",
     "SweepResult",
+    "TraceSpan",
+    "Tracer",
     "TuningCache",
     "autotune",
     "multi_cluster_gemm",
@@ -95,7 +113,9 @@ __all__ = [
     "gemm",
     "generate_kernel",
     "make_requests",
+    "monitor",
     "serve",
     "sweep",
     "tgemm_gemm",
+    "tracing",
 ]

@@ -7,12 +7,15 @@
                                         [--verify] [--kernel-exec MODE]
                                         [--trace out.json] [--perf]
     python -m repro perf --shape MxNxK [--runlog runs.jsonl] [--compare]
+                         [--json]
     python -m repro autotune MxNxK [--jobs N] [--no-validate]
     python -m repro kernel M N K [--table] [--asm] [--tgemm]
     python -m repro classify MxNxK
     python -m repro chaos [--seeds N] [--impl ftimm|tgemm|both]
     python -m repro serve [--mix NAME] [--policy P] [--loads R1,R2,...]
                           [--compare-naive] [--latency-table]
+                          [--trace out.json]
+    python -m repro trace runs.jsonl|trace.json [--quantile Q]
     python -m repro experiment fig3|fig4|fig5|fig6|fig7|tables|all
     python -m repro machine
 
@@ -231,6 +234,21 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         )
         result = run_timed(lowered, profile=True)
     report = attribute(result, shape, cluster, impl=args.impl)
+    record = make_record(
+        **report.to_record_fields(),
+        profile=result.profile.to_dict(),
+        metrics=reg.snapshot(),
+    )
+    earlier = read_records(args.runlog, skip_invalid=True)
+    append_record(args.runlog, record)
+
+    if args.json:
+        # machine-readable mode: the appended run-log record, nothing else
+        import json
+
+        print(json.dumps(record, sort_keys=True))
+        return 0
+
     print(report.render())
 
     for prefix, label in (
@@ -255,12 +273,6 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         print("histograms:")
         print("\n".join(hist_lines))
 
-    record = make_record(
-        **report.to_record_fields(),
-        profile=result.profile.to_dict(),
-        metrics=reg.snapshot(),
-    )
-    earlier = read_records(args.runlog, skip_invalid=True)
     if args.compare:
         prev = last_matching(
             earlier, shape=str(shape), impl=args.impl, cores=cluster.n_cores
@@ -270,7 +282,6 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             print(f"compare: no earlier {shape} run in {args.runlog}")
         else:
             print(diff_records(prev, record))
-    append_record(args.runlog, record)
     print(f"run-log: {args.runlog} ({len(earlier) + 1} records)")
     if args.metrics:
         print(reg.to_json(indent=1))
@@ -333,8 +344,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .obs import append_record, collecting, make_record
-    from .serve import ServeConfig, sweep
+    import dataclasses
+
+    from .analysis.critical_path import critical_path
+    from .obs import append_record, collecting, make_record, tracing
+    from .serve import ServeConfig, make_requests, monitor, serve, sweep
 
     try:
         loads = sorted(float(x) for x in args.loads.split(","))
@@ -370,6 +384,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(last.latency_table())
 
     last = result.points[-1]
+
+    # critical-path attribution + SLO monitoring at the highest offered
+    # load — the point where queueing and shedding actually show up
+    cp = critical_path(last.report.records, last.report.batches)
+    print()
+    print(f"critical path at {last.offered_rps:.0f} rps:")
+    print(cp.render())
+    slo = monitor(last.report.records)
+    print()
+    print(slo.render())
+
     record = make_record(
         shape=f"mix:{result.mix_name}",
         impl="serve",
@@ -383,9 +408,83 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         profile=result.to_record_fields(),
         metrics=reg.snapshot(),
     )
+    # full per-request / per-batch rows so `repro trace runs.jsonl` can
+    # re-run the analysis offline (make_record has a fixed signature)
+    record["serve"] = {
+        "requests": [dataclasses.asdict(r) for r in last.report.records],
+        "batches": [dataclasses.asdict(b) for b in last.report.batches],
+    }
     append_record(args.runlog, record)
+    n_alerts = slo.append_to_runlog(args.runlog)
     print()
-    print(f"run-log: {args.runlog}")
+    print(f"run-log: {args.runlog}"
+          + (f" (+{n_alerts} SLO alert record(s))" if n_alerts else ""))
+
+    if args.trace:
+        # re-run the highest-load point under the tracer (exactly the
+        # harness's recipe, so the trace matches the numbers above)
+        requests = make_requests(
+            args.mix, rate_rps=last.offered_rps, n_requests=args.n,
+            seed=args.seed, arrivals=args.arrivals,
+        )
+        with tracing() as tracer:
+            serve(requests, config)
+        path = tracer.save(args.trace)
+        print(f"trace: {len(tracer.spans)} spans -> {path} "
+              "(load in https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from collections import Counter
+    from pathlib import Path
+
+    from .analysis.critical_path import critical_path, from_spans
+    from .obs import load_spans, read_records, validate_chrome_trace
+    from .serve import SLO_SCHEMA, BatchRecord, RequestRecord, monitor
+
+    path = Path(args.path)
+    if not path.exists():
+        raise ReproError(f"no such file: {path}")
+
+    if path.suffix == ".json":
+        # Chrome trace exported by --trace: validate, then reconstruct
+        trace = json.loads(path.read_text())
+        validate_chrome_trace(trace)
+        spans = load_spans(path)
+        print(f"{path}: {len(trace['traceEvents'])} events / "
+              f"{len(spans)} spans — valid Chrome trace "
+              "(load in https://ui.perfetto.dev)")
+        census = Counter(s.category for s in spans)
+        print("spans by category: " + "  ".join(
+            f"{cat}={n}" for cat, n in sorted(census.items())
+        ))
+        print()
+        print(from_spans(spans, quantile=args.quantile).render())
+        return 0
+
+    # JSONL run-log: analyze the most recent serve record
+    records = read_records(path, skip_invalid=True)
+    serve_recs = [r for r in records
+                  if r.get("impl") == "serve" and r.get("serve")]
+    if not serve_recs:
+        raise ReproError(
+            f"{path}: no serve records with per-request rows "
+            "(run `repro serve` first)"
+        )
+    payload = serve_recs[-1]["serve"]
+    reqs = [RequestRecord(**d) for d in payload["requests"]]
+    batches = [BatchRecord(**d) for d in payload["batches"]]
+    print(f"{path}: serve record {len(serve_recs)} of {len(records)} "
+          f"run-log rows ({len(reqs)} requests, {len(batches)} batches)")
+    print()
+    print(critical_path(reqs, batches, quantile=args.quantile).render())
+    print()
+    print(monitor(reqs).render())
+    alerts = read_records(path, SLO_SCHEMA)
+    if alerts:
+        print(f"(run-log already holds {len(alerts)} SLO alert record(s))")
     return 0
 
 
@@ -490,6 +589,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="diff against the latest matching run-log entry")
     p_perf.add_argument("--metrics", action="store_true",
                         help="also dump the raw metrics registry as JSON")
+    p_perf.add_argument("--json", action="store_true",
+                        help="print only the run-log record as one JSON "
+                             "object (machine-readable; still appends)")
     p_perf.set_defaults(fn=_cmd_perf)
 
     p_kernel = sub.add_parser("kernel", help="generate one micro-kernel")
@@ -572,7 +674,21 @@ def build_parser() -> argparse.ArgumentParser:
                               "highest offered load")
     p_serve.add_argument("--runlog", metavar="OUT.jsonl",
                          default="runs.jsonl")
+    p_serve.add_argument("--trace", metavar="OUT.json", default=None,
+                         help="re-run the highest-load point under the "
+                              "request tracer and write a Chrome trace")
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="analyze a serve run: critical path + SLO from a run-log, "
+             "or validate and analyze an exported Chrome trace",
+    )
+    p_trace.add_argument("path", metavar="runs.jsonl|trace.json",
+                         help=".jsonl run-log or .json Chrome trace")
+    p_trace.add_argument("--quantile", type=float, default=0.99,
+                         help="tail quantile to attribute (default 0.99)")
+    p_trace.set_defaults(fn=_cmd_trace)
 
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
     p_exp.add_argument(

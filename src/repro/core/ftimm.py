@@ -37,6 +37,7 @@ from ..faults.inject import FaultInjector, FaultReport
 from ..faults.plan import FaultPlan
 from ..hw.config import ClusterConfig, MachineConfig, default_machine
 from ..kernels.registry import KernelRegistry, registry_for
+from ..obs.trace import current_tracer, maybe_scope
 from .blocking import KPlan, MPlan, TgemmPlan
 from .lowering import GemmOperands
 from .parallel_k import build_parallel_k
@@ -183,22 +184,44 @@ def _run(
             kernel_exec=kernel_exec, plan=faults, registry=registry,
         )
 
-    func_report = None
-    if data is not None:
-        func_report = run_functional(
-            _lower(shape, cluster, decision, data, registry, kernel_exec)
-        )
+    with maybe_scope(
+        f"gemm {shape.m}x{shape.n}x{shape.k}",
+        category="gemm",
+        track="gemm",
+        args={"strategy": decision.strategy},
+    ) as gscope:
+        func_report = None
+        if data is not None:
+            with maybe_scope("functional", category="phase", track="gemm"):
+                func_report = run_functional(
+                    _lower(shape, cluster, decision, data, registry,
+                           kernel_exec)
+                )
 
-    mode = timing
-    if mode == "auto":
-        mode = "des" if _estimate_ops(shape, decision) <= _DES_OP_LIMIT else "analytic"
-    timed: TimedResult | None = None
-    if mode == "des":
-        timed = run_timed(_lower(shape, cluster, decision, None, registry))
-    elif mode == "analytic":
-        timed = _analytic(shape, cluster, decision, registry)
-    elif mode != "none":
-        raise PlanError(f"unknown timing mode {timing!r}")
+        mode = timing
+        if mode == "auto":
+            mode = ("des" if _estimate_ops(shape, decision) <= _DES_OP_LIMIT
+                    else "analytic")
+        timed: TimedResult | None = None
+        if mode == "des":
+            with maybe_scope("timed/des", category="phase", track="gemm"):
+                timed = run_timed(
+                    _lower(shape, cluster, decision, None, registry)
+                )
+        elif mode == "analytic":
+            with maybe_scope("timed/analytic", category="phase",
+                             track="gemm"):
+                timed = _analytic(shape, cluster, decision, registry)
+        elif mode != "none":
+            raise PlanError(f"unknown timing mode {timing!r}")
+
+        if gscope is not None:
+            gscope.args["timing_mode"] = mode
+            if timed is not None:
+                # modeled extent, anchored at the tracer's sim offset
+                gscope.sim_start_s = 0.0
+                gscope.sim_end_s = timed.seconds
+                gscope.args["modeled_s"] = timed.seconds
 
     return GemmResult(
         shape=shape,
@@ -255,11 +278,19 @@ def _run_resilient(
                 func_report = run_functional(ex, faults=inj)
                 report.absorb(inj.counters)
                 break
-            except CoreFailureError:
+            except CoreFailureError as exc:
                 report.absorb(inj.counters)
                 if cluster_f.n_cores <= 1:
                     raise
                 report.redispatches += 1
+                tracer = current_tracer()
+                if tracer is not None:
+                    tracer.instant(
+                        "re-dispatch (functional)",
+                        category="redispatch",
+                        track="gemm",
+                        args={"attempt": attempt, "error": str(exc)},
+                    )
                 data.c[...] = c_snapshot
                 cluster_f = cluster_f.with_cores(cluster_f.n_cores - 1)
                 decision_f = _retune(shape, cluster_f, decision, dtype)
@@ -288,6 +319,16 @@ def _run_resilient(
                 if cluster_t.n_cores <= 1:
                     raise
                 report.redispatches += 1
+                tracer = current_tracer()
+                if tracer is not None:
+                    tracer.instant(
+                        "re-dispatch (timed)",
+                        at_s=lost_s + exc.at_s,
+                        category="redispatch",
+                        track="gemm",
+                        args={"attempt": attempt, "lost_s": exc.at_s,
+                              "error": str(exc)},
+                    )
                 lost_s += exc.at_s
                 cluster_t = cluster_t.with_cores(cluster_t.n_cores - 1)
                 decision_t = _retune(shape, cluster_t, decision, dtype)

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..errors import PlanError, ShapeError
 from ..hw.config import MachineConfig, default_machine
+from ..obs.trace import current_tracer
 from .ftimm import GemmResult, ftimm_gemm
 from .shapes import GemmShape
 from .tuner import choose_strategy
@@ -135,6 +136,23 @@ def multi_cluster_gemm(
         # replicate B into each cluster's memory partition (host copy)
         replicate_s = (len(extents) - 1) * shape.b_bytes / cpu_bw
         seconds = replicate_s + max(_secs(r) for r in results)
+        tracer = current_tracer()
+        if tracer is not None:
+            if replicate_s > 0:
+                tracer.record(
+                    "replicate B", category="replicate",
+                    start_s=0.0, end_s=replicate_s,
+                    track="host-copy", pid=0,
+                    args={"bytes": shape.b_bytes * (len(extents) - 1)},
+                )
+            for i, r in enumerate(results):
+                tracer.record(
+                    f"cluster{i} m-slice", category="epoch",
+                    start_s=replicate_s, end_s=replicate_s + _secs(r),
+                    track="gemm", pid=i + 1,
+                    args={"split": "m", "m": extents[i],
+                          "strategy": r.strategy},
+                )
         return MultiClusterResult(
             shape, len(extents), "m", seconds, results, replicate_s, 0.0
         )
@@ -159,7 +177,24 @@ def multi_cluster_gemm(
             c += partial
     # host reads all partials and the original C, writes C back
     reduce_s = (len(extents) + 2) * shape.c_bytes / cpu_bw
-    seconds = max(_secs(r) for r in results) + reduce_s
+    longest = max(_secs(r) for r in results)
+    seconds = longest + reduce_s
+    tracer = current_tracer()
+    if tracer is not None:
+        for i, r in enumerate(results):
+            tracer.record(
+                f"cluster{i} k-slice", category="epoch",
+                start_s=0.0, end_s=_secs(r),
+                track="gemm", pid=i + 1,
+                args={"split": "k", "k": extents[i], "strategy": r.strategy},
+            )
+        if reduce_s > 0:
+            tracer.record(
+                "reduce partials", category="reduce",
+                start_s=longest, end_s=longest + reduce_s,
+                track="host-copy", pid=0,
+                args={"bytes": shape.c_bytes * (len(extents) + 2)},
+            )
     return MultiClusterResult(
         shape, len(extents), "k", seconds, results, 0.0, reduce_s
     )

@@ -36,6 +36,7 @@ from ..hw.cluster import ClusterSim
 from ..hw.event_sim import Event, Simulator
 from ..obs import MetricsRegistry, RunProfile
 from ..obs.registry import current as _obs_current
+from ..obs.trace import current_tracer
 from .trace import TraceRecorder
 
 #: max op processes spawned ahead of the oldest incomplete one, per core.
@@ -111,7 +112,10 @@ def run_timed(
     )
     sim = cluster.sim
     n_cores = execution.cluster.n_cores
-    prof = RunProfile(n_cores=n_cores) if (profile or metrics is not None) else None
+    # an ambient tracer needs the epoch boundaries too (epoch spans)
+    prof = (RunProfile(n_cores=n_cores)
+            if (profile or metrics is not None or current_tracer() is not None)
+            else None)
 
     # barrier plumbing: per sync id, one arrival event per core and a done
     # event that fires barrier_cycles + sync_seconds after the last arrival
@@ -180,6 +184,16 @@ def run_timed(
                 f"core{core}/compute", op.tag or "kernel",
                 sim.now - duration, sim.now, "kernel",
             )
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.record(
+                op.tag or "kernel",
+                category="kernel",
+                start_s=sim.now - duration,
+                end_s=sim.now,
+                track=f"core{core}/compute",
+                args={"core": core, "cycles": op.cycles, "epoch": epoch},
+            )
 
     def walk(core: int, ops):
         events: list[Event | None] = [None] * len(ops)
@@ -207,6 +221,16 @@ def run_timed(
                     trace.add(
                         "cluster/sync", op.tag or f"sync{op.sync_id}",
                         arrival_t, sim.now, "sync",
+                    )
+                tracer = current_tracer()
+                if tracer is not None and core == 0:
+                    tracer.record(
+                        op.tag or f"sync{op.sync_id}",
+                        category="sync",
+                        start_s=arrival_t,
+                        end_s=sim.now,
+                        track="cluster/sync",
+                        args={"sync_id": op.sync_id},
                     )
                 events[idx] = done[op.sync_id]
                 epoch += 1
@@ -240,6 +264,23 @@ def run_timed(
 
     if prof is not None:
         prof.finish(sim.now)
+    tracer = current_tracer()
+    if tracer is not None and prof is not None:
+        for ep in prof.epochs:
+            tracer.record(
+                ep.sync_tag or f"epoch{ep.index}",
+                category="epoch",
+                start_s=ep.start,
+                end_s=ep.end,
+                track="epochs",
+                args={
+                    "index": ep.index,
+                    "compute_frac": ep.compute_frac,
+                    "dma_frac": ep.dma_frac,
+                    "sync_frac": ep.sync_frac,
+                    "stall_frac": ep.stall_frac,
+                },
+            )
     if metrics is not None:
         _publish_metrics(metrics, sim, cluster, prof)
 

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..errors import CorruptionError, CoreFailureError
 from ..obs.registry import current as _obs_current
+from ..obs.trace import current_tracer
 from .plan import CoreFault, FaultPlan
 
 #: slack multiplier on the Higham rounding bound; keeps false positives
@@ -75,6 +76,15 @@ class FaultInjector:
         m = _obs_current()
         if m is not None:
             m.counter(f"faults/{name}").inc(value)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.instant(
+                f"fault/{name}",
+                category="fault",
+                track="faults",
+                args={"value": value, "attempt": self.attempt,
+                      "seed": self.plan.seed},
+            )
 
     # -- DMA transfer failures (timed mode) --------------------------------
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Union
 
 from ..errors import DmaTransferError, PlanError
+from ..obs.trace import current_tracer
 from .bandwidth import LocalChannel, SharedChannel
 from .config import DmaConfig, DspCoreConfig
 from .event_sim import Event, Resource, Simulator
@@ -178,6 +179,16 @@ class DmaEngine:
                             f"t={self.sim.now:.3e}s)"
                         )
                     backoff = inj.backoff_s(attempt, self.core_cfg.clock_hz)
+                    tracer = current_tracer()
+                    if tracer is not None:
+                        tracer.instant(
+                            f"dma-retry {desc.tag or 'transfer'}",
+                            at_s=self.sim.now,
+                            category="dma-retry",
+                            track=f"core{self.core_id}/dma",
+                            args={"core": self.core_id, "attempt": attempt,
+                                  "wasted_s": wasted, "backoff_s": backoff},
+                        )
                     yield self.sim.timeout(backoff)
                     self.retries += 1
                     self.retry_s += wasted + backoff
@@ -188,6 +199,18 @@ class DmaEngine:
                 self.bytes_by_medium[medium] = (
                     self.bytes_by_medium.get(medium, 0) + desc.nbytes
                 )
+                tracer = current_tracer()
+                if tracer is not None:
+                    # queue wait + startup + transfer (+ retries), end to end
+                    tracer.record(
+                        desc.tag or "dma",
+                        category="dma",
+                        start_s=t_request,
+                        end_s=self.sim.now,
+                        track=f"core{self.core_id}/dma",
+                        args={"core": self.core_id, "bytes": desc.nbytes,
+                              "medium": medium, "rows": desc.rows},
+                    )
             self.transfers += 1
         finally:
             self.slots.release()

@@ -1,18 +1,21 @@
-"""Unified observability layer: metrics, profiling scopes, run-logs.
+"""Unified observability layer: metrics, tracing, profiling, run-logs.
 
-Three pieces, deliberately dependency-free (only :mod:`repro.errors`):
+Four pieces, deliberately dependency-free (only :mod:`repro.errors`):
 
 * :mod:`repro.obs.registry` — hierarchical :class:`MetricsRegistry`
   (counters, gauges, distributions, timers), the ambient
   :func:`collecting` context that turns instrumentation on, and
   :class:`ProfileScope` wall-clock scopes.
+* :mod:`repro.obs.trace` — structured :class:`Tracer` spans (ids, parent
+  links, simulated + wall clocks) behind the ambient :func:`tracing`
+  context, with a Chrome-trace-event exporter.
 * :mod:`repro.obs.profile` — :class:`RunProfile`, the per-epoch busy-time
   accounting the timed executor fills in, consumed by
   :mod:`repro.analysis.bottleneck`.
 * :mod:`repro.obs.runlog` — versioned JSONL run-log records.
 
-Everything is off by default: with no ambient registry the hooks reduce
-to one global read, and simulated results are bit-identical with
+Everything is off by default: with no ambient registry/tracer the hooks
+reduce to one global read, and simulated results are bit-identical with
 observability on or off (a test asserts this).
 """
 
@@ -36,6 +39,17 @@ from .runlog import (
     make_record,
     read_records,
 )
+from .trace import (
+    TraceSpan,
+    Tracer,
+    current_tracer,
+    load_spans,
+    maybe_scope,
+    set_tracer,
+    spans_to_chrome,
+    tracing,
+    validate_chrome_trace,
+)
 
 __all__ = [
     "Counter",
@@ -47,12 +61,21 @@ __all__ = [
     "ProfileScope",
     "RunProfile",
     "SCHEMA",
+    "TraceSpan",
+    "Tracer",
     "Timer",
     "append_record",
     "collecting",
     "current",
+    "current_tracer",
     "last_matching",
+    "load_spans",
     "make_record",
+    "maybe_scope",
     "read_records",
     "set_registry",
+    "set_tracer",
+    "spans_to_chrome",
+    "tracing",
+    "validate_chrome_trace",
 ]

@@ -309,6 +309,71 @@ class MetricsRegistry:
     def names(self, prefix: str = "") -> list[str]:
         return sorted(n for n in self._metrics if n.startswith(prefix))
 
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s instruments into this registry, in place.
+
+        Kind-aware: counters add; gauges keep the *other* registry's
+        last-set value (last-write-wins, the merge being "other happened
+        after/elsewhere") and the max of the high-water marks;
+        distributions and timers combine count/total and take the
+        min/max extremes; histograms require identical bin parameters
+        and add bin counts elementwise.  A name bound to different
+        instrument kinds in the two registries raises
+        :class:`~repro.errors.ReproError`.  Returns ``self`` so worker
+        snapshots fold in a loop.
+        """
+        for name in other.names():
+            theirs = other._metrics[name]
+            mine = self._metrics.get(name)
+            if mine is None:
+                if type(theirs) is Histogram:
+                    mine = self.histogram(
+                        name,
+                        lo_exp=theirs.lo_exp,
+                        hi_exp=theirs.hi_exp,
+                        per_decade=theirs.per_decade,
+                    )
+                else:
+                    mine = self._get(name, type(theirs))
+            elif type(mine) is not type(theirs):
+                raise ReproError(
+                    f"cannot merge metric {name!r}: "
+                    f"{type(mine).__name__} vs {type(theirs).__name__}"
+                )
+            if type(mine) is Counter:
+                mine.value += theirs.value
+            elif type(mine) is Gauge:
+                mine.high = max(mine.high, theirs.high)
+                mine.value = theirs.value
+            elif type(mine) is Histogram:
+                if (
+                    mine.lo_exp != theirs.lo_exp
+                    or mine.hi_exp != theirs.hi_exp
+                    or mine.per_decade != theirs.per_decade
+                ):
+                    raise ReproError(
+                        f"cannot merge histogram {name!r}: bin spec "
+                        f"[1e{mine.lo_exp}, 1e{mine.hi_exp}] x "
+                        f"{mine.per_decade}/decade vs "
+                        f"[1e{theirs.lo_exp}, 1e{theirs.hi_exp}] x "
+                        f"{theirs.per_decade}/decade"
+                    )
+                mine.counts = [
+                    a + b for a, b in zip(mine.counts, theirs.counts)
+                ]
+                mine.count += theirs.count
+                mine.total += theirs.total
+                mine.min = min(mine.min, theirs.min)
+                mine.max = max(mine.max, theirs.max)
+            else:  # Distribution / Timer
+                mine.count += theirs.count
+                mine.total += theirs.total
+                mine.min = min(mine.min, theirs.min)
+                mine.max = max(mine.max, theirs.max)
+        return self
+
     # -- serialization -----------------------------------------------------
 
     def snapshot(self) -> dict[str, dict[str, Any]]:

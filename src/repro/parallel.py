@@ -44,6 +44,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import TypeVar
 
 from .errors import WorkerError
+from .obs.registry import MetricsRegistry, collecting
 from .obs.registry import current as _obs_current
 
 T = TypeVar("T")
@@ -99,6 +100,25 @@ def resolve_jobs(jobs: int | None, n_items: int | None = None) -> int:
     return jobs
 
 
+class _CollectingCall:
+    """Picklable wrapper: run ``fn`` under a fresh registry in the worker
+    and ship ``(result, metrics snapshot)`` back for the parent to merge.
+
+    Without this, any metrics a worker process records land in that
+    process's ambient registry and die with it.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[T], R]) -> None:
+        self.fn = fn
+
+    def __call__(self, item: T):
+        with collecting(MetricsRegistry()) as reg:
+            result = self.fn(item)
+        return result, reg.snapshot()
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -120,13 +140,40 @@ def parallel_map(
     ``retries`` times, then :class:`~repro.errors.WorkerError` is raised.
     Exceptions raised by ``fn`` itself propagate unchanged on first
     occurrence — they are the caller's bug, not pool weather.
+
+    When a metrics registry is ambient (:func:`repro.obs.collecting`),
+    each work unit runs under a fresh worker-side registry whose snapshot
+    rides back with the result and is merged into the parent registry
+    (:meth:`~repro.obs.MetricsRegistry.merge`) — worker metrics are never
+    silently dropped.
     """
     seq: Sequence[T] = items if isinstance(items, Sequence) else list(items)
     jobs = resolve_jobs(jobs, len(seq))
     if jobs == 1 or len(seq) < 2 or _pool_disabled:
+        # in-process: fn records straight into the ambient registry
         if _pool_disabled and jobs > 1 and len(seq) >= 2:
             _count("serial_fallbacks")
         return [fn(x) for x in seq]
+    parent = _obs_current()
+    call = fn if parent is None else _CollectingCall(fn)
+    out = _run_map(call, seq, jobs, chunksize, timeout, retries)
+    if parent is None:
+        return out
+    results = []
+    for result, snap in out:
+        parent.merge(MetricsRegistry.from_snapshot(snap))
+        results.append(result)
+    return results
+
+
+def _run_map(
+    fn: Callable[[T], R],
+    seq: Sequence[T],
+    jobs: int,
+    chunksize: int,
+    timeout: float | None,
+    retries: int,
+) -> list[R]:
     if timeout is None:
         # fast path: Executor.map gets chunking; crashes fall through to
         # the submit-based retry path below

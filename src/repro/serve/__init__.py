@@ -17,7 +17,9 @@ latency numbers:
 * :mod:`repro.serve.server`    — the simulated-time serve loop with
   admission control, typed shedding and verified bit-exact responses;
 * :mod:`repro.serve.harness`   — offered-load sweeps and the
-  saturation-curve experiment (``repro serve`` on the CLI).
+  saturation-curve experiment (``repro serve`` on the CLI);
+* :mod:`repro.serve.slo`       — error-budget / burn-rate SLO monitoring
+  over serve records, with typed run-log alerts.
 """
 
 from .batcher import Batch, ShapeBucketBatcher, bucket_key, bucket_label
@@ -31,20 +33,33 @@ from .loadgen import (
 from .request import BatchRecord, GemmRequest, RequestRecord
 from .scheduler import POLICIES, ClusterBackend, Scheduler, WarmupReport
 from .server import ServeConfig, ServeReport, serve
+from .slo import (
+    SLO_SCHEMA,
+    BurnWindow,
+    SloAlert,
+    SloPolicy,
+    SloReport,
+    monitor,
+)
 
 __all__ = [
     "Batch",
     "BatchRecord",
+    "BurnWindow",
     "ClusterBackend",
     "GemmRequest",
     "MIXES",
     "POLICIES",
     "RequestRecord",
+    "SLO_SCHEMA",
     "Scheduler",
     "ServeConfig",
     "ServeReport",
     "ShapeBucketBatcher",
     "ShapeClass",
+    "SloAlert",
+    "SloPolicy",
+    "SloReport",
     "SweepPoint",
     "SweepResult",
     "WarmupReport",
@@ -52,6 +67,7 @@ __all__ = [
     "bucket_label",
     "get_mix",
     "make_requests",
+    "monitor",
     "serve",
     "sweep",
 ]

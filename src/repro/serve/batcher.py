@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from ..core.batched import b_digest
 from ..errors import PlanError
+from ..obs.trace import current_tracer
 from .request import GemmRequest
 
 #: bucket key: (N, K, dtype-str, B-content-digest-or-id)
@@ -57,6 +58,7 @@ class Batch:
     key: BucketKey
     requests: list[GemmRequest]
     close_s: float
+    reason: str = "full"           # "full" | "timeout" | "drain"
 
     @property
     def n_items(self) -> int:
@@ -106,7 +108,7 @@ class ShapeBucketBatcher:
         bucket = self._buckets.setdefault(key, [])
         bucket.append(req)
         if len(bucket) >= self.max_batch:
-            return self._close(key, now)
+            return self._close(key, now, reason="full")
         return None
 
     def due_at(self, key: BucketKey) -> float | None:
@@ -120,22 +122,39 @@ class ShapeBucketBatcher:
         """Close the bucket if its oldest member has waited long enough."""
         due = self.due_at(key)
         if due is not None and due <= now:
-            return self._close(key, now)
+            return self._close(key, now, reason="timeout")
         return None
 
     def drain(self, now: float) -> list[Batch]:
         """Close every non-empty bucket (end of stream)."""
-        return [self._close(key, now) for key in list(self._buckets)
-                if self._buckets[key]]
+        return [self._close(key, now, reason="drain")
+                for key in list(self._buckets) if self._buckets[key]]
 
-    def _close(self, key: BucketKey, now: float) -> Batch:
+    def _close(self, key: BucketKey, now: float, *, reason: str) -> Batch:
         requests = self._buckets.pop(key)
         if not requests:
             raise PlanError("closing an empty bucket")
         batch = Batch(
-            batch_id=self._next_id, key=key, requests=requests, close_s=now
+            batch_id=self._next_id, key=key, requests=requests,
+            close_s=now, reason=reason,
         )
         self._next_id += 1
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.instant(
+                f"coalesce b{batch.batch_id}",
+                at_s=now,
+                category="coalesce",
+                track="batcher",
+                pid=0,
+                args={
+                    "batch_id": batch.batch_id,
+                    "reason": reason,
+                    "n_items": batch.n_items,
+                    "stacked_m": batch.stacked_m,
+                    "bucket": bucket_label(key),
+                },
+            )
         return batch
 
 

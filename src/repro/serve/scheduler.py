@@ -36,6 +36,7 @@ from ..core.shapes import GemmShape
 from ..errors import PlanError
 from ..hw.config import MachineConfig
 from ..obs import current
+from ..obs.trace import current_tracer, maybe_scope
 
 POLICIES = ("fifo", "least_loaded", "edf")
 
@@ -128,17 +129,22 @@ class Scheduler:
         """
         report = WarmupReport()
         t0 = time.perf_counter()
-        for shape, dtype in shapes:
-            key: WarmKey = (shape.n, shape.k, dtype)
-            if key in self._warmed:
-                continue
-            ftimm_gemm(
-                shape.m, shape.n, shape.k,
-                machine=self.machine, timing="analytic",
-            )
-            self._warmed.add(key)
-            report.keys.append(key)
-            report.n_buckets += 1
+        with maybe_scope(
+            "warmup", category="warmup", track="scheduler", pid=0
+        ) as scope:
+            for shape, dtype in shapes:
+                key: WarmKey = (shape.n, shape.k, dtype)
+                if key in self._warmed:
+                    continue
+                ftimm_gemm(
+                    shape.m, shape.n, shape.k,
+                    machine=self.machine, timing="analytic",
+                )
+                self._warmed.add(key)
+                report.keys.append(key)
+                report.n_buckets += 1
+            if scope is not None:
+                scope.args["n_buckets"] = report.n_buckets
         report.wall_s = time.perf_counter() - t0
         m = current()
         if m is not None:
@@ -153,6 +159,16 @@ class Scheduler:
         m = current()
         if m is not None:
             m.counter("serve/tune/cold").inc()
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.instant(
+                f"cold-tune {key[0]}x{key[1]}/{key[2]}",
+                category="tune",
+                track="scheduler",
+                pid=0,
+                args={"n": key[0], "k": key[1], "dtype": key[2],
+                      "penalty_s": self.cold_tune_s},
+            )
         return self.cold_tune_s
 
     # -- accounting --------------------------------------------------------

@@ -38,6 +38,7 @@ from ..errors import FaultError, OverloadError, PlanError
 from ..faults.plan import FaultPlan
 from ..hw.config import MachineConfig, default_machine
 from ..obs import current
+from ..obs.trace import current_tracer, maybe_scope
 from .batcher import Batch, ShapeBucketBatcher, bucket_key, bucket_label
 from .request import (
     COMPLETED,
@@ -210,6 +211,7 @@ class _Execution:
     repaired: int = 0
     error: str | None = None
     result: GroupedGemmResult | None = None
+    attempt_errors: list[str] = field(default_factory=list)
 
     @property
     def span_s(self) -> float:
@@ -249,6 +251,8 @@ class _ServeLoop:
         self._seq = 0
         #: EDF central queue: (deadline, close_s, batch_id, batch, execution)
         self._ready: list[tuple[float, float, int, Batch, _Execution]] = []
+        #: trace display lanes for request spans: lane index -> last end
+        self._lanes: list[float] = []
 
     # -- event plumbing ----------------------------------------------------
 
@@ -305,6 +309,17 @@ class _ServeLoop:
             )
             if m is not None:
                 m.counter("serve/requests/shed").inc()
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.instant(
+                    f"shed req {req.req_id}",
+                    at_s=now,
+                    category="admission",
+                    track="admission",
+                    pid=0,
+                    args={"req_id": req.req_id, "klass": req.klass,
+                          "queue_cap": self.config.queue_cap},
+                )
             return
         self.pending += 1
         self._gauge_queue()
@@ -379,6 +394,7 @@ class _ServeLoop:
         lost_s = 0.0
         redispatches = 0
         attempt = 0
+        attempt_errors: list[str] = []
         while True:
             faults = None
             if cfg.faults is not None:
@@ -404,6 +420,7 @@ class _ServeLoop:
                 ).seconds
                 attempt += 1
                 redispatches += 1
+                attempt_errors.append(f"{type(exc).__name__}: {exc}")
                 if m is not None:
                     m.counter("serve/redispatches").inc()
                 if attempt > cfg.max_redispatch:
@@ -414,22 +431,31 @@ class _ServeLoop:
                         lost_s=lost_s,
                         redispatches=redispatches,
                         error=f"{type(exc).__name__}: {exc}",
+                        attempt_errors=attempt_errors,
                     )
 
         repaired = 0
         if cfg.verify:
-            for req, c0 in zip(batch.requests, c_before):
-                standalone = c0.copy()
-                ftimm_gemm(
-                    req.shape.m, req.shape.n, req.shape.k,
-                    a=req.a, b=req.b, c=standalone,
-                    machine=self.machine, timing="none",
-                )
-                if not np.array_equal(standalone, req.c):
-                    # stacked blocking summed in a different order; the
-                    # served bits must be the standalone bits — repair
-                    req.c[...] = standalone
-                    repaired += 1
+            # verification is host work off the simulated timeline, so its
+            # span carries wall time only
+            with maybe_scope(
+                "verify", category="verify", track="verifier", pid=0,
+                args={"batch_id": batch.batch_id, "n_items": batch.n_items},
+            ) as vscope:
+                for req, c0 in zip(batch.requests, c_before):
+                    standalone = c0.copy()
+                    ftimm_gemm(
+                        req.shape.m, req.shape.n, req.shape.k,
+                        a=req.a, b=req.b, c=standalone,
+                        machine=self.machine, timing="none",
+                    )
+                    if not np.array_equal(standalone, req.c):
+                        # stacked blocking summed in a different order; the
+                        # served bits must be the standalone bits — repair
+                        req.c[...] = standalone
+                        repaired += 1
+                if vscope is not None:
+                    vscope.args["repaired"] = repaired
             if repaired and m is not None:
                 m.counter("serve/verify/repaired").inc(repaired)
 
@@ -442,6 +468,7 @@ class _ServeLoop:
             redispatches=redispatches,
             repaired=repaired,
             result=result,
+            attempt_errors=attempt_errors,
         )
 
     def _finalize(
@@ -518,6 +545,133 @@ class _ServeLoop:
                     m.histogram("serve/latency/compute_s").add(
                         execution.span_s
                     )
+        if current_tracer() is not None:
+            self._trace_finalize(batch, execution, backend, start_s, finish)
+
+    def _trace_finalize(
+        self,
+        batch: Batch,
+        execution: _Execution,
+        backend,
+        start_s: float,
+        finish_s: float,
+    ) -> None:
+        """Emit the request/batch span tree, retroactively.
+
+        All simulated times are known only once the batch is placed, so
+        spans are recorded here in one go: the batch span (pid = cluster
+        + 1) with its sequential tune → stage → retry → gemm children,
+        a dispatch instant on the scheduler track, and one root span per
+        member request (pid 0, non-overlapping display lanes) with
+        queue / batch-wait / compute children — the exact decomposition
+        the critical-path analyzer reconstructs.
+        """
+        tracer = current_tracer()
+        pid = backend.idx + 1
+        tracer.instant(
+            f"dispatch b{batch.batch_id}",
+            at_s=start_s,
+            category="dispatch",
+            track="scheduler",
+            pid=0,
+            args={"batch_id": batch.batch_id, "policy": self.config.policy,
+                  "cluster": backend.idx, "n_items": batch.n_items},
+        )
+        batch_sid = tracer.record(
+            f"batch {batch.batch_id} {bucket_label(batch.key)}",
+            category="batch",
+            start_s=start_s,
+            end_s=finish_s,
+            track="batch",
+            pid=pid,
+            parent=None,
+            args={
+                "batch_id": batch.batch_id,
+                "cluster": backend.idx,
+                "n_items": batch.n_items,
+                "stacked_m": batch.stacked_m,
+                "close_reason": batch.reason,
+                "redispatches": execution.redispatches,
+                "ok": execution.ok,
+            },
+        )
+        # segment layout convention: phases are charged sequentially in
+        # the order the execution model charges them
+        t = start_s
+        for seg, dur in (
+            ("tune", execution.tune_s),
+            ("stage", execution.stage_s),
+            ("retry", execution.lost_s),
+            ("gemm", execution.gemm_s),
+        ):
+            if dur <= 0.0:
+                continue
+            sid = tracer.record(
+                seg,
+                category=seg,
+                start_s=t,
+                end_s=t + dur,
+                track="batch",
+                pid=pid,
+                parent=batch_sid,
+                args={"batch_id": batch.batch_id},
+            )
+            if seg == "retry":
+                # one mark per failed dispatch attempt, spread evenly
+                n = max(1, execution.redispatches)
+                for i, err in enumerate(execution.attempt_errors):
+                    tracer.instant(
+                        f"re-dispatch #{i + 1}",
+                        at_s=t + dur * (i + 1) / n,
+                        category="redispatch",
+                        track="batch",
+                        pid=pid,
+                        parent=sid,
+                        args={"batch_id": batch.batch_id, "error": err},
+                    )
+            t += dur
+        for req in batch.requests:
+            lane = None
+            for i, end in enumerate(self._lanes):
+                if end <= req.arrival_s:
+                    lane = i
+                    break
+            if lane is None:
+                lane = len(self._lanes)
+                self._lanes.append(0.0)
+            self._lanes[lane] = finish_s
+            req_sid = tracer.record(
+                f"req {req.req_id} {req.klass}",
+                category="request",
+                start_s=req.arrival_s,
+                end_s=finish_s,
+                track=f"req-lane{lane}",
+                pid=0,
+                parent=None,
+                args={
+                    "req_id": req.req_id,
+                    "klass": req.klass,
+                    "shape": str(req.shape),
+                    "batch_id": batch.batch_id,
+                    "cluster": backend.idx,
+                    "status": COMPLETED if execution.ok else FAILED,
+                },
+            )
+            for seg, s0, s1 in (
+                ("queue", req.arrival_s, batch.close_s),
+                ("batch-wait", batch.close_s, start_s),
+                ("compute", start_s, finish_s),
+            ):
+                tracer.record(
+                    seg,
+                    category=seg,
+                    start_s=s0,
+                    end_s=s1,
+                    track=f"req-lane{lane}",
+                    pid=0,
+                    parent=req_sid,
+                    args={"req_id": req.req_id, "batch_id": batch.batch_id},
+                )
 
     def _gauge_queue(self) -> None:
         m = current()

@@ -1,0 +1,439 @@
+"""Request tracing, critical-path attribution, and SLO monitoring.
+
+The guarantees under test:
+
+* tracing is observation-only — functional results, modeled times and
+  every serve record are bit-identical with the tracer on or off;
+* spans nest: every DES kernel span lands inside an epoch span, every
+  serve segment child inside its batch span, parents exist and precede
+  their children;
+* the Chrome exporter emits schema-valid traces (and the validator
+  actually rejects malformed ones), and the span sidecar round-trips
+  losslessly through save/load;
+* the critical-path analyzer covers >= 95% of every completed request's
+  latency, and reconstructing it from the trace sidecar agrees with
+  reconstructing it from the serve records;
+* SLO burn-rate alerts are a pure function of the records: the overload
+  mix at saturation fires, the light mix never does, and replaying the
+  same records yields the same alerts;
+* ``MetricsRegistry.merge`` folds worker snapshots in without losing
+  counts, and ``parallel_map`` uses it so pool workers' metrics survive.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import critical_path, from_spans
+from repro.core.ftimm import _lower, ftimm_gemm
+from repro.core.shapes import GemmShape
+from repro.core.tuner import tune
+from repro.errors import InputError, PlanError, ReproError
+from repro.executor.timed import run_timed
+from repro.hw.config import default_machine
+from repro.kernels.registry import registry_for
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    collecting,
+    current_tracer,
+    load_spans,
+    maybe_scope,
+    read_records,
+    set_tracer,
+    tracing,
+    validate_chrome_trace,
+)
+from repro.parallel import parallel_map
+from repro.serve import (
+    SLO_SCHEMA,
+    BurnWindow,
+    ServeConfig,
+    SloPolicy,
+    make_requests,
+    monitor,
+    serve,
+)
+from repro.workloads.generators import random_operands
+
+OVERLOAD_RPS = 480_000.0
+LIGHT_RPS = 30_000.0
+N_REQUESTS = 100
+
+
+def serve_run(mix="overload", rate=OVERLOAD_RPS, n=N_REQUESTS, seed=0):
+    requests = make_requests(mix, rate_rps=rate, n_requests=n, seed=seed)
+    return serve(requests, ServeConfig())
+
+
+def timed_lowered(shape=GemmShape(512, 32, 256)):
+    machine = default_machine()
+    decision = tune(shape, machine.cluster)
+    return _lower(
+        shape, machine.cluster, decision, None,
+        registry_for(machine.cluster.core),
+    )
+
+
+# ---------------------------------------------------------------- tracer
+
+
+class TestTracer:
+    def test_off_by_default(self):
+        assert current_tracer() is None
+
+    def test_ambient_install_and_teardown(self):
+        with tracing() as tr:
+            assert current_tracer() is tr
+        assert current_tracer() is None
+
+    def test_scope_nesting_sets_parents(self):
+        with tracing() as tr:
+            with tr.scope("outer"):
+                with tr.scope("inner"):
+                    pass
+        outer = next(s for s in tr.spans if s.name == "outer")
+        inner = next(s for s in tr.spans if s.name == "inner")
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_record_with_explicit_times(self):
+        tr = Tracer()
+        sid = tr.record("a", start_s=1.0, end_s=2.5)
+        (span,) = tr.spans
+        assert span.span_id == sid
+        assert span.duration_s == pytest.approx(1.5)
+        assert span.wall_end >= span.wall_start
+
+    def test_span_rejects_negative_duration(self):
+        tr = Tracer()
+        with pytest.raises(ReproError):
+            tr.record("bad", start_s=2.0, end_s=1.0)
+
+    def test_at_offset_shifts_sim_times(self):
+        tr = Tracer()
+        with tr.at_offset(10.0):
+            tr.record("shifted", start_s=1.0, end_s=2.0)
+        (span,) = tr.spans
+        assert span.start_s == pytest.approx(11.0)
+        assert span.end_s == pytest.approx(12.0)
+
+    def test_maybe_scope_is_none_without_tracer(self):
+        with maybe_scope("nothing") as scope:
+            assert scope is None
+
+    def test_sidecar_roundtrip(self, tmp_path):
+        with tracing() as tr:
+            with tr.scope("outer", args={"x": 1}):
+                tr.instant("tick", at_s=0.5)
+        path = tr.save(tmp_path / "t.json")
+        loaded = load_spans(path)
+        assert [s.to_dict() for s in loaded] == [s.to_dict() for s in tr.spans]
+
+
+class TestDesNesting:
+    """Spans from concurrent DES processes still nest consistently."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        with tracing() as tr:
+            result = run_timed(timed_lowered())
+        return tr, result
+
+    def test_kernel_spans_inside_epochs(self, traced_run):
+        tr, _result = traced_run
+        epochs = sorted(
+            (s for s in tr.spans if s.category == "epoch"),
+            key=lambda s: s.start_s,
+        )
+        kernels = [s for s in tr.spans if s.category == "kernel"]
+        assert epochs and kernels
+        eps = 1e-12
+        for k in kernels:
+            assert any(
+                e.start_s - eps <= k.start_s and k.end_s <= e.end_s + eps
+                for e in epochs
+            ), f"kernel span [{k.start_s}, {k.end_s}] outside every epoch"
+
+    def test_concurrent_core_tracks_are_distinct(self, traced_run):
+        tr, _result = traced_run
+        tracks = {s.track for s in tr.spans if s.category == "kernel"}
+        assert len(tracks) == default_machine().cluster.n_cores
+
+    def test_parents_exist_and_contain_children(self, traced_run):
+        tr, _result = traced_run
+        by_id = {s.span_id: s for s in tr.spans}
+        for s in tr.spans:
+            if s.parent_id is None:
+                continue
+            parent = by_id[s.parent_id]
+            assert parent.span_id != s.span_id
+
+    def test_dma_spans_cover_transfers(self, traced_run):
+        tr, result = traced_run
+        dma = [s for s in tr.spans if s.category == "dma"]
+        assert dma
+        assert all(s.end_s <= result.seconds + 1e-9 for s in dma)
+
+
+# ----------------------------------------------------------- chrome export
+
+
+class TestChromeExport:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        with tracing() as tr:
+            run_timed(timed_lowered())
+        return tr.to_chrome()
+
+    def test_validates(self, trace):
+        validate_chrome_trace(trace)  # raises on schema violation
+
+    def test_complete_events_carry_us_timestamps(self, trace):
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert xs
+        for e in xs:
+            assert e["dur"] >= 0
+            assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+
+    def test_metadata_names_processes_and_threads(self, trace):
+        metas = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in metas}
+        assert {"process_name", "thread_name"} <= names
+
+    def test_validator_rejects_malformed(self):
+        with pytest.raises(ReproError):
+            validate_chrome_trace({"no_events": []})
+        with pytest.raises(ReproError):
+            validate_chrome_trace({"traceEvents": [{"ph": "Z", "name": "x",
+                                                   "pid": 0, "tid": 0,
+                                                   "ts": 0.0}]})
+        with pytest.raises(ReproError):
+            validate_chrome_trace({"traceEvents": [{"ph": "X", "name": "x",
+                                                    "pid": 0, "tid": 0,
+                                                    "ts": 0.0, "dur": -1.0}]})
+
+    def test_json_serializable(self, trace):
+        json.dumps(trace)
+
+
+# ------------------------------------------------------------ bit-identical
+
+
+class TestObservationOnly:
+    def test_ftimm_bit_identical_with_tracing(self):
+        shape = GemmShape(384, 24, 640)
+        a, b, c0 = random_operands(shape, seed=3)
+        c_off, c_on = c0.copy(), c0.copy()
+        r_off = ftimm_gemm(384, 24, 640, a=a, b=b, c=c_off, timing="des")
+        with tracing():
+            r_on = ftimm_gemm(384, 24, 640, a=a, b=b, c=c_on, timing="des")
+        assert np.array_equal(c_off, c_on)
+        assert r_off.seconds == r_on.seconds
+        assert r_off.strategy == r_on.strategy
+
+    def test_serve_bit_identical_with_tracing(self):
+        rep_off = serve_run()
+        with tracing() as tr:
+            rep_on = serve_run()
+        assert tr.spans  # the traced run actually traced
+        assert rep_off.records == rep_on.records
+        assert rep_off.batches == rep_on.batches
+
+
+# ------------------------------------------------------------ critical path
+
+
+class TestCriticalPath:
+    @pytest.fixture(scope="class")
+    def traced_serve(self):
+        with tracing() as tr:
+            report = serve_run()
+        return tr, report
+
+    def test_coverage_at_least_95_percent(self, traced_serve):
+        _tr, report = traced_serve
+        cp = critical_path(report.records, report.batches)
+        assert cp.n_requests > 0
+        assert cp.min_coverage >= 0.95
+
+    def test_segments_sum_to_latency(self, traced_serve):
+        _tr, report = traced_serve
+        cp = critical_path(report.records, report.batches)
+        for path in cp.paths:
+            assert path.covered_s == pytest.approx(path.latency_s, rel=1e-6)
+
+    def test_from_spans_agrees_with_records(self, traced_serve):
+        tr, report = traced_serve
+        a = critical_path(report.records, report.batches)
+        b = from_spans(tr.spans)
+        assert b.n_requests == a.n_requests
+        assert b.tail_dominant == a.tail_dominant
+        assert b.tail_latency_s() == pytest.approx(a.tail_latency_s(), rel=1e-6)
+        b_segs = b.tail_segments()
+        for seg, val in a.tail_segments().items():
+            assert b_segs[seg] == pytest.approx(val, abs=1e-9)
+
+    def test_dominant_segment_is_largest(self, traced_serve):
+        _tr, report = traced_serve
+        cp = critical_path(report.records, report.batches)
+        segs = cp.tail_segments()
+        assert segs[cp.tail_dominant] == max(segs.values())
+
+    def test_render_mentions_dominant(self, traced_serve):
+        _tr, report = traced_serve
+        text = critical_path(report.records, report.batches).render()
+        assert "dominant" in text
+
+    def test_empty_records_give_empty_report(self):
+        cp = critical_path([], [])
+        assert cp.n_requests == 0
+        assert cp.min_coverage == 1.0
+        assert "0 completed requests" in cp.render()
+
+    def test_from_spans_rejects_traceless(self):
+        with pytest.raises(InputError):
+            from_spans([])
+
+    def test_bad_quantile_rejected(self, traced_serve):
+        _tr, report = traced_serve
+        with pytest.raises(InputError):
+            critical_path(report.records, report.batches, quantile=1.5)
+
+
+# -------------------------------------------------------------------- slo
+
+
+class TestSlo:
+    def test_overload_fires(self):
+        report = serve_run("overload", OVERLOAD_RPS)
+        slo = monitor(report.records)
+        assert slo.alerts, "saturated overload mix must fire an alert"
+        assert not slo.ok
+
+    def test_light_mix_never_fires(self):
+        report = serve_run("transformer", LIGHT_RPS)
+        slo = monitor(report.records)
+        assert slo.bad_events == 0
+        assert slo.alerts == []
+        assert slo.ok
+
+    def test_deterministic_replay(self):
+        records = serve_run("overload", OVERLOAD_RPS).records
+
+        def stripped(report):
+            # drop the wall-clock stamp; everything else must match exactly
+            return [
+                {k: v for k, v in a.to_record().items() if k != "ts"}
+                for a in report.alerts
+            ]
+
+        first = monitor(records)
+        second = monitor(records)
+        assert stripped(first) == stripped(second)
+        assert first.peak_burn == second.peak_burn
+
+    def test_one_alert_per_window(self):
+        report = serve_run("overload", OVERLOAD_RPS)
+        slo = monitor(report.records)
+        windows = [a.window for a in slo.alerts]
+        assert len(windows) == len(set(windows))
+
+    def test_min_events_guard(self):
+        # a lone early failure in a tiny stream must not page
+        report = serve_run("overload", OVERLOAD_RPS, n=4)
+        slo = monitor(report.records, SloPolicy(min_events=8))
+        assert slo.alerts == []
+
+    def test_alert_records_append_and_read_back(self, tmp_path):
+        report = serve_run("overload", OVERLOAD_RPS)
+        slo = monitor(report.records)
+        log = tmp_path / "runs.jsonl"
+        n = slo.append_to_runlog(log)
+        assert n == len(slo.alerts) > 0
+        rows = read_records(log, SLO_SCHEMA)
+        assert len(rows) == n
+        assert all(r["kind"] == "slo_alert" for r in rows)
+        # the perf-schema reader skips them by design
+        assert read_records(log) == []
+
+    def test_policy_validation(self):
+        with pytest.raises(PlanError):
+            SloPolicy(objective=1.5)
+        with pytest.raises(PlanError):
+            SloPolicy(windows=())
+        with pytest.raises(PlanError):
+            BurnWindow("w", window_s=-1.0, threshold=1.0)
+        with pytest.raises(PlanError):
+            monitor([])
+
+
+# ---------------------------------------------------------- registry merge
+
+
+def _worker_fn(x):
+    from repro.obs import current
+
+    reg = current()
+    if reg is not None:
+        reg.counter("worker/calls").inc()
+        reg.distribution("worker/x").add(float(x))
+    return x * 2
+
+
+class TestRegistryMerge:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(3)
+        b.counter("c").inc(4)
+        b.counter("only_b").inc()
+        a.merge(b)
+        assert a.snapshot()["c"]["value"] == 7
+        assert a.snapshot()["only_b"]["value"] == 1
+
+    def test_histograms_merge_counts(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (1e-3, 2e-3):
+            a.histogram("h").add(v)
+        for v in (4e-3, 8e-3, 16e-3):
+            b.histogram("h").add(v)
+        a.merge(b)
+        snap = a.snapshot()["h"]
+        assert snap["count"] == 5
+        assert snap["max"] == pytest.approx(16e-3)
+        assert snap["min"] == pytest.approx(1e-3)
+
+    def test_distribution_and_timer_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.distribution("d").add(1.0)
+        b.distribution("d").add(3.0)
+        b.timer("t").add(0.5)
+        a.merge(b)
+        assert a.snapshot()["d"]["count"] == 2
+        assert a.snapshot()["d"]["max"] == pytest.approx(3.0)
+        assert a.snapshot()["t"]["count"] == 1
+
+    def test_kind_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc()
+        b.gauge("x").set(1.0)
+        with pytest.raises(ReproError):
+            a.merge(b)
+
+    def test_merge_returns_self(self):
+        a = MetricsRegistry()
+        assert a.merge(MetricsRegistry()) is a
+
+    def test_parallel_map_merges_worker_metrics(self):
+        with collecting() as reg:
+            out = parallel_map(_worker_fn, list(range(6)), jobs=2)
+        assert out == [x * 2 for x in range(6)]
+        snap = reg.snapshot()
+        assert snap["worker/calls"]["value"] == 6
+        assert snap["worker/x"]["count"] == 6
+
+    def test_parallel_map_serial_still_records(self):
+        with collecting() as reg:
+            parallel_map(_worker_fn, [1, 2, 3], jobs=1)
+        assert reg.snapshot()["worker/calls"]["value"] == 3
