@@ -1,0 +1,290 @@
+"""Before/after instrumentation for the adaptive-plan-search PR.
+
+Writes ``BENCH_PR7.json`` at the repo root with four measurements, all
+host wall-clock on hermetic temp-dir caches:
+
+1. **Pruned vs exhaustive search** on the reference shapes: wall time,
+   scored fraction, and the bit-identity check (pruning must change the
+   cost of the search, never its answer).
+2. **Cross-shape transfer**: a cold search populates the plan database,
+   then a tolerance-gated neighbor search short-circuits from it — the
+   speedup is the cold/warm ratio.
+3. **Parallel amortization** (the BENCH_PR2 regression fix): serial vs
+   ``jobs=2`` wall on the BENCH_PR2 reference shape 2048x32x2048; the
+   sub-threshold search must stay serial, so jobs=2 must be ~1.0x, not
+   the 0.66x the one-shot pool spawn used to cost.
+4. **Serve cold-start warmup**: the transformer mix's warmup wall under
+   the PR-4 baseline (rule tuner, first-request M, cold caches) vs a
+   search+stack-hints session, cold and then restarted warm (riding the
+   persistent plan database and kernel cache).  Each serve session runs
+   in a subprocess with its own ``$REPRO_KERNEL_CACHE`` so "cold" means
+   cold.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pr7.py [-o BENCH_PR7.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.autotune import autotune
+from repro.core.plan_search import PlanDB
+from repro.core.shapes import GemmShape
+from repro.hw.config import default_machine
+from repro.kernels.registry import KernelDiskCache, KernelRegistry
+from repro.obs import make_record
+
+REFERENCE_SHAPES = [
+    GemmShape(2048, 32, 2048),
+    GemmShape(4096, 64, 512),
+    GemmShape(20480, 16, 20480),
+]
+PR2_SHAPE = GemmShape(2048, 32, 2048)
+TRANSFER_TOL = 0.25
+
+_SERVE_SNIPPET = """\
+import json, sys, time
+from repro.serve.loadgen import make_requests
+from repro.serve.server import ServeConfig, serve
+
+mode, hints, runs = sys.argv[1], sys.argv[2] == "hints", int(sys.argv[3])
+reqs = make_requests("transformer", rate_rps=60000, n_requests=120, seed=0)
+walls = []
+for _ in range(runs):
+    t0 = time.perf_counter()
+    report = serve(reqs, ServeConfig(warmup_tune=mode, stack_hints=hints))
+    walls.append({
+        "warmup_s": report.warmup.wall_s,
+        "total_s": time.perf_counter() - t0,
+        "hinted": report.warmup.hinted,
+        "transfer_hits": report.warmup.transfer_hits,
+        "short_circuits": report.warmup.short_circuits,
+    })
+print(json.dumps(walls))
+"""
+
+
+def _git_head() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _record(shape: GemmShape, impl: str, strategy: str, seconds: float) -> dict:
+    cluster = default_machine().cluster
+    return make_record(
+        shape=f"{shape.m}x{shape.n}x{shape.k}",
+        impl=impl,
+        strategy=strategy,
+        cores=cluster.n_cores,
+        seconds=seconds,
+        gflops=2.0 * shape.m * shape.n * shape.k / seconds / 1e9,
+        efficiency=0.0,          # host wall-clock, not modeled DSP time
+        bound="wallclock",
+    )
+
+
+def bench_pruning(cluster, registry) -> tuple[dict, list[dict]]:
+    shapes = []
+    records = []
+    print("pruned vs exhaustive (host wall-clock):")
+    for shape in REFERENCE_SHAPES:
+        t0 = time.perf_counter()
+        pruned = autotune(shape, cluster, registry, jobs=1,
+                          mode="pruned", plan_db=False)
+        pruned_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        full = autotune(shape, cluster, registry, jobs=1,
+                        mode="exhaustive", plan_db=False)
+        full_s = time.perf_counter() - t0
+        label = f"{shape.m}x{shape.n}x{shape.k}"
+        entry = {
+            "shape": label,
+            "exhaustive_s": full_s,
+            "pruned_s": pruned_s,
+            "speedup": full_s / pruned_s if pruned_s > 0 else float("inf"),
+            "generated": pruned.stats.generated,
+            "scored": pruned.stats.scored,
+            "scored_fraction": pruned.stats.scored / pruned.stats.generated,
+            "identical_plan": pruned.best == full.best,
+            "best": pruned.best.label,
+        }
+        shapes.append(entry)
+        records.append(_record(shape, "autotune/exhaustive",
+                               full.best.strategy, full_s))
+        records.append(_record(shape, "autotune/pruned",
+                               pruned.best.strategy, pruned_s))
+        print(f"  {label:>16s}: exhaustive {full_s * 1e3:7.1f} ms -> "
+              f"pruned {pruned_s * 1e3:7.1f} ms "
+              f"({entry['speedup']:.1f}x, scored "
+              f"{entry['scored']}/{entry['generated']}, "
+              f"{'identical' if entry['identical_plan'] else 'DIFFERS'})")
+    return {
+        "shapes": shapes,
+        "all_identical": all(e["identical_plan"] for e in shapes),
+        "max_scored_fraction": max(e["scored_fraction"] for e in shapes),
+    }, records
+
+
+def bench_transfer(cluster, registry, tmp: Path) -> tuple[dict, list[dict]]:
+    db = PlanDB(tmp / "plans")
+    donor = GemmShape(2048, 32, 2048)
+    t0 = time.perf_counter()
+    autotune(donor, cluster, registry, jobs=1, plan_db=db)
+    cold_s = time.perf_counter() - t0
+    near = GemmShape(2304, 32, 2048)
+    t0 = time.perf_counter()
+    warm = autotune(near, cluster, registry, jobs=1, plan_db=db,
+                    transfer_tol=TRANSFER_TOL)
+    warm_s = time.perf_counter() - t0
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print("cross-shape transfer:")
+    print(f"  cold {cold_s * 1e3:7.1f} ms -> warm {warm_s * 1e3:7.1f} ms "
+          f"({speedup:.1f}x, {warm.stats.transfer})")
+    records = [
+        _record(donor, "autotune/cold", "m", cold_s),
+        _record(near, "autotune/transfer-warm", warm.best.strategy, warm_s),
+    ]
+    return {
+        "donor": f"{donor.m}x{donor.n}x{donor.k}",
+        "neighbor": f"{near.m}x{near.n}x{near.k}",
+        "transfer_tol": TRANSFER_TOL,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": speedup,
+        "transfer": warm.stats.transfer,
+    }, records
+
+
+def bench_parallel(cluster, registry) -> tuple[dict, list[dict]]:
+    autotune(PR2_SHAPE, cluster, registry, jobs=1, plan_db=False)
+
+    def _best(jobs: int):
+        walls, pooled = [], False
+        for _ in range(3):
+            t0 = time.perf_counter()
+            result = autotune(PR2_SHAPE, cluster, registry, jobs=jobs,
+                              plan_db=False)
+            walls.append(time.perf_counter() - t0)
+            pooled = result.stats.pooled
+        return min(walls), pooled
+
+    serial_s, _ = _best(1)
+    parallel_s, pooled = _best(2)
+    ratio = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print("parallel amortization (BENCH_PR2 reference shape):")
+    print(f"  serial {serial_s * 1e3:7.1f} ms, jobs=2 "
+          f"{parallel_s * 1e3:7.1f} ms ({ratio:.2f}x, "
+          f"{'pooled' if pooled else 'amortized serial'})")
+    records = [
+        _record(PR2_SHAPE, "autotune/serial", "m", serial_s),
+        _record(PR2_SHAPE, "autotune/jobs2", "m", parallel_s),
+    ]
+    return {
+        "shape": f"{PR2_SHAPE.m}x{PR2_SHAPE.n}x{PR2_SHAPE.k}",
+        "serial_s": serial_s,
+        "jobs2_s": parallel_s,
+        "jobs2_over_serial": ratio,
+        "pooled": pooled,
+    }, records
+
+
+def _serve_session(cache: Path, mode: str, hints: bool, runs: int) -> list[dict]:
+    env = dict(os.environ, REPRO_KERNEL_CACHE=str(cache),
+               PYTHONPATH=str(Path(__file__).resolve().parent.parent / "src"))
+    out = subprocess.run(
+        [sys.executable, "-c", _SERVE_SNIPPET, mode,
+         "hints" if hints else "nohints", str(runs)],
+        capture_output=True, text=True, check=True, env=env,
+    )
+    return json.loads(out.stdout)
+
+
+def bench_serve_warmup() -> dict:
+    print("serve cold-start warmup (transformer mix, subprocess sessions):")
+    with tempfile.TemporaryDirectory(prefix="repro-pr7-serve-") as tmp:
+        baseline = _serve_session(Path(tmp) / "a", "rule", False, 1)[0]
+    with tempfile.TemporaryDirectory(prefix="repro-pr7-serve-") as tmp:
+        cold, warm = _serve_session(Path(tmp) / "b", "search", True, 2)
+    print(f"  PR4 baseline (rule, cold)     {baseline['warmup_s'] * 1e3:7.1f} ms")
+    print(f"  search+hints (cold session)   {cold['warmup_s'] * 1e3:7.1f} ms "
+          f"(short-circuits {cold['short_circuits']})")
+    print(f"  search+hints (warm restart)   {warm['warmup_s'] * 1e3:7.1f} ms "
+          f"(short-circuits {warm['short_circuits']})")
+    return {
+        "mix": "transformer",
+        "baseline_rule_cold": baseline,
+        "search_hints_cold": cold,
+        "search_hints_warm": warm,
+        "warm_vs_baseline": baseline["warmup_s"] / warm["warmup_s"]
+        if warm["warmup_s"] > 0 else float("inf"),
+        "warm_drops_vs_pr4_baseline":
+            warm["warmup_s"] < baseline["warmup_s"],
+    }
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR7.json"),
+    )
+    args = parser.parse_args(argv[1:])
+
+    cluster = default_machine().cluster
+    with tempfile.TemporaryDirectory(prefix="repro-pr7-") as tmp:
+        tmp_path = Path(tmp)
+        registry = KernelRegistry(
+            cluster.core, disk=KernelDiskCache(tmp_path / "kernels")
+        )
+        pruning, rec_p = bench_pruning(cluster, registry)
+        transfer, rec_t = bench_transfer(cluster, registry, tmp_path)
+        parallel, rec_j = bench_parallel(cluster, registry)
+    serve_warmup = bench_serve_warmup()
+
+    gates = {
+        "pruned_identical_half_grid": (
+            pruning["all_identical"]
+            and pruning["max_scored_fraction"] <= 0.5
+        ),
+        "transfer_5x": transfer["speedup"] >= 5.0,
+        "jobs2_not_slower": (
+            not parallel["pooled"]
+            and parallel["jobs2_s"] <= parallel["serial_s"] * 1.25
+        ),
+        "serve_warm_drops": serve_warmup["warm_drops_vs_pr4_baseline"],
+    }
+    payload = {
+        "commit": _git_head(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "gates": gates,
+        "pruning": pruning,
+        "transfer": transfer,
+        "parallel": parallel,
+        "serve_warmup": serve_warmup,
+        "records": rec_p + rec_t + rec_j,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"gates: " + "  ".join(
+        f"{name}={'ok' if ok else 'FAIL'}" for name, ok in gates.items()
+    ))
+    print(f"wrote {args.output}")
+    return 0 if all(gates.values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -18,6 +18,12 @@ from .core.batched import (
 )
 from .core.ftimm import GemmResult, ftimm_gemm, gemm, tgemm_gemm
 from .core.hetero import HeteroResult, hetero_gemm
+from .core.plan_search import (
+    PlanDB,
+    SearchStats,
+    default_plan_db,
+    plan_bound,
+)
 from .core.multi_cluster import MultiClusterResult, multi_cluster_gemm
 from .core.shapes import GemmShape
 from .core.tuning_cache import TuningCache
@@ -33,6 +39,7 @@ from .hw.config import MachineConfig, default_machine
 from .kernels.generator import MicroKernel
 from .kernels.registry import registry_for
 from .kernels.spec import KernelSpec
+from .parallel import WorkerPool, worker_pool
 from .analysis import CriticalPathReport, critical_path
 from .obs import (
     Histogram,
@@ -91,6 +98,8 @@ __all__ = [
     "GemmShape",
     "Histogram",
     "MultiClusterResult",
+    "PlanDB",
+    "SearchStats",
     "ServeConfig",
     "ServeReport",
     "SloPolicy",
@@ -99,8 +108,12 @@ __all__ = [
     "TraceSpan",
     "Tracer",
     "TuningCache",
+    "WorkerPool",
     "autotune",
+    "default_plan_db",
     "multi_cluster_gemm",
+    "plan_bound",
+    "worker_pool",
     "KernelSpec",
     "MachineConfig",
     "MetricsRegistry",

@@ -9,6 +9,8 @@
     python -m repro perf --shape MxNxK [--runlog runs.jsonl] [--compare]
                          [--json]
     python -m repro autotune MxNxK [--jobs N] [--no-validate]
+                                   [--exhaustive] [--no-transfer]
+                                   [--transfer-tol T] [--stack-hint M]
     python -m repro kernel M N K [--table] [--asm] [--tgemm]
     python -m repro classify MxNxK
     python -m repro chaos [--seeds N] [--impl ftimm|tgemm|both]
@@ -300,15 +302,33 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
     validate_top = 0 if args.no_validate else args.validate_top
     with collecting() as reg:
         result = autotune(
-            shape, cluster, validate_top=validate_top, jobs=args.jobs
+            shape, cluster, validate_top=validate_top, jobs=args.jobs,
+            mode="exhaustive" if args.exhaustive else "pruned",
+            transfer=not args.no_transfer,
+            transfer_tol=args.transfer_tol,
+            stack_hint=args.stack_hint,
         )
     print(f"shape {shape}: searched {result.n_candidates} candidates")
+    if args.stack_hint is not None:
+        print(f"  stack hint: tuned at M={args.stack_hint} "
+              f"(expected stacked batch)")
     print(f"  best: {result.best.label}  "
           f"{result.best.seconds * 1e6:.1f} us"
-          f"{' (DES-validated)' if result.best.validated else ''}")
+          f"{' (DES-validated)' if result.best.validated else ''}"
+          f"{' (transferred)' if result.best.transferred else ''}")
     print(f"  rule: {result.rule.label}  "
           f"{result.rule.seconds * 1e6:.1f} us")
     print(f"  rule/best: {result.improvement:.3f}x")
+    stats = result.stats
+    if stats is not None:
+        print(f"  search [{stats.mode}"
+              + (", pooled" if stats.pooled else ", serial")
+              + f"]: {stats.describe()}")
+        if stats.trajectory:
+            print("  incumbent trajectory:")
+            for scored, label, seconds in stats.trajectory:
+                print(f"    after {scored:3d} scored: {label}  "
+                      f"{seconds * 1e6:.1f} us")
     for name in reg.names("tuner/"):
         snap = reg.snapshot()[name]
         if snap["type"] == "timer":
@@ -354,6 +374,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         loads = sorted(float(x) for x in args.loads.split(","))
     except ValueError as exc:
         raise ReproError(f"bad --loads: {exc}") from None
+    if args.cold_tune == "auto":
+        cold_tune_s: float | None = None
+    else:
+        try:
+            cold_tune_s = float(args.cold_tune)
+        except ValueError:
+            raise ReproError(
+                f"bad --cold-tune {args.cold_tune!r} (float or 'auto')"
+            ) from None
     config = ServeConfig(
         policy=args.policy,
         max_batch=args.max_batch,
@@ -361,6 +390,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_cap=args.queue_cap,
         by_digest=not args.no_digest,
         warmup=not args.no_warmup,
+        warmup_tune=args.warm_tune,
+        stack_hints=not args.no_stack_hints,
+        cold_tune_s=cold_tune_s,
     )
     with collecting() as reg:
         result = sweep(
@@ -369,6 +401,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             arrivals=args.arrivals, compare_naive=args.compare_naive,
         )
     print(result.render())
+
+    warmup = result.points[-1].report.warmup
+    if warmup.n_buckets:
+        line = (f"warmup [{warmup.mode}]: {warmup.n_buckets} bucket(s) "
+                f"in {warmup.wall_s * 1e3:.1f} ms")
+        if warmup.hinted:
+            line += f", {warmup.hinted} at hinted stacked M"
+        if warmup.mode == "search":
+            line += (f", transfer hits {warmup.transfer_hits} "
+                     f"(short-circuits {warmup.short_circuits})")
+        print()
+        print(line)
 
     hist_lines = _histogram_lines(reg)
     if hist_lines:
@@ -619,6 +663,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="DES-validate the best N candidates")
     p_tune.add_argument("--no-validate", action="store_true",
                         help="pure analytic search (skip DES validation)")
+    p_tune.add_argument("--exhaustive", action="store_true",
+                        help="score every candidate (no bound pruning; "
+                             "the escape hatch the pruned search is "
+                             "tested against)")
+    p_tune.add_argument("--no-transfer", action="store_true",
+                        help="skip the cross-shape plan database")
+    p_tune.add_argument("--transfer-tol", type=float, default=None,
+                        metavar="T",
+                        help="adopt a transferred neighbor plan outright "
+                             "when it is within (1+T) of the grid's lower "
+                             "bound (default: warm-start only, no "
+                             "short-circuit)")
+    p_tune.add_argument("--stack-hint", type=int, default=None, metavar="M",
+                        help="tune at this expected stacked/batched M "
+                             "instead of the shape's M")
     p_tune.set_defaults(fn=_cmd_autotune)
 
     p_classify = sub.add_parser("classify", help="shape taxonomy")
@@ -667,6 +726,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bucket B by object identity, not content")
     p_serve.add_argument("--no-warmup", action="store_true",
                          help="skip plan/kernel warmup (pay cold tunes)")
+    p_serve.add_argument("--warm-tune", choices=["rule", "search"],
+                         default="rule",
+                         help="warmup tuner: rule-based (default) or the "
+                              "pruned plan search with cross-shape "
+                              "transfer")
+    p_serve.add_argument("--no-stack-hints", action="store_true",
+                         help="warm each bucket at its first request's M "
+                              "instead of the expected stacked M")
+    p_serve.add_argument("--cold-tune", default="5e-4", metavar="S",
+                         help="un-warmed bucket penalty in seconds, or "
+                              "'auto' to re-cost from measured warmup "
+                              "tune walls (default 5e-4; 'auto' is "
+                              "machine-dependent)")
     p_serve.add_argument("--compare-naive", action="store_true",
                          help="also sweep the one-call-per-request baseline")
     p_serve.add_argument("--latency-table", action="store_true",

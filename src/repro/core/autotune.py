@@ -29,6 +29,8 @@ once DES validation is on.
 
 from __future__ import annotations
 
+import bisect
+import dataclasses
 import math
 from dataclasses import dataclass, replace
 
@@ -38,8 +40,16 @@ from ..executor.timed import run_timed
 from ..hw.config import ClusterConfig
 from ..obs.registry import ProfileScope, current as _obs_current
 from ..kernels.registry import KernelRegistry, registry_for
-from ..parallel import parallel_map, resolve_jobs
+from ..parallel import POOL_MIN_UNITS, active_pool, parallel_map, resolve_jobs
 from .blocking import FP32, KPlan, MPlan, MIN_GOOD_M_S, N_MAX
+from .plan_search import (
+    PlanDB,
+    PlanRecord,
+    SearchStats,
+    ShapeClass,
+    default_plan_db,
+    plan_bound,
+)
 from .shapes import GemmShape
 from .tuner import tune
 
@@ -55,6 +65,7 @@ class Candidate:
     plan: MPlan | KPlan
     seconds: float
     validated: bool = False       # True when the score came from the DES
+    transferred: bool = False     # True when adopted from the plan DB
 
     @property
     def label(self) -> str:
@@ -68,6 +79,7 @@ class AutotuneResult:
     best: Candidate
     rule: Candidate
     n_candidates: int
+    stats: SearchStats | None = None
 
     @property
     def improvement(self) -> float:
@@ -199,6 +211,111 @@ def _des_unit(args: tuple) -> Candidate:
     return _des_score(shape, cluster, cand, registry_for(cluster.core))
 
 
+def _nearest_grid_index(
+    work: list[tuple[str, MPlan | KPlan]], strategy: str, plan
+) -> int | None:
+    """The grid candidate most like a transferred plan (log-block distance)."""
+    best: tuple[float, int] | None = None
+    for i, (s, p) in enumerate(work):
+        if s != strategy:
+            continue
+        d = (
+            abs(math.log2(p.k_a / plan.k_a))
+            + abs(math.log2(p.m_s / plan.m_s))
+            + abs(math.log2(p.m_a / plan.m_a))
+        )
+        if best is None or d < best[0]:
+            best = (d, i)
+    return best[1] if best is not None else None
+
+
+def _exhaustive_scores(
+    shape: GemmShape,
+    cluster: ClusterConfig,
+    work: list[tuple[str, MPlan | KPlan]],
+    registry: KernelRegistry,
+    effective_jobs: int,
+    stats: SearchStats,
+) -> list[Candidate]:
+    """Score the whole grid (the ablation baseline): no bounds, no pruning."""
+    if effective_jobs > 1:
+        candidates = parallel_map(
+            _score_unit,
+            [(shape, cluster, s, p) for s, p in work],
+            effective_jobs,
+            chunksize=8,
+        )
+    else:
+        candidates = [
+            _score(shape, cluster, s, p, registry) for s, p in work
+        ]
+    stats.scored = len(candidates)
+    best_t = math.inf
+    for i, cand in enumerate(candidates):
+        if cand.seconds < best_t:
+            best_t = cand.seconds
+            stats.trajectory.append((i + 1, cand.label, cand.seconds))
+    return candidates
+
+
+def _pruned_scores(
+    shape: GemmShape,
+    cluster: ClusterConfig,
+    work: list[tuple[str, MPlan | KPlan]],
+    bounds: list[float],
+    registry: KernelRegistry,
+    effective_jobs: int,
+    k_keep: int,
+    first: int | None,
+    stats: SearchStats,
+) -> list[Candidate]:
+    """Best-first scoring with bound pruning.
+
+    Candidates are visited in ascending bound order (``first``, when
+    given, is promoted to the front — the transfer warm start).  Scoring
+    stops once the next candidate's *lower bound* exceeds the ``k_keep``-th
+    best scored time: every skipped candidate is then provably slower than
+    all ``k_keep`` finalists, so the finalist set — and therefore the
+    selected plan — is bit-identical to scoring the whole grid.  Returned
+    in generation order (the scored subset), preserving the exhaustive
+    path's stable tie-breaking.
+    """
+    order = sorted(range(len(work)), key=lambda i: (bounds[i], i))
+    if first is not None:
+        order.remove(first)
+        order.insert(0, first)
+    scored: dict[int, Candidate] = {}
+    times: list[float] = []  # sorted scored seconds
+    best_t = math.inf
+    wave = 1 if effective_jobs == 1 else effective_jobs * 4
+    pos = 0
+    while pos < len(order):
+        if len(times) >= k_keep and bounds[order[pos]] > times[k_keep - 1]:
+            break  # everything after pos has a bound at least this large
+        take = order[pos : pos + wave]
+        if effective_jobs > 1:
+            cands = parallel_map(
+                _score_unit,
+                [(shape, cluster, *work[i]) for i in take],
+                effective_jobs,
+            )
+        else:
+            cands = [
+                _score(shape, cluster, work[i][0], work[i][1], registry)
+                for i in take
+            ]
+        for i, cand in zip(take, cands):
+            scored[i] = cand
+            bisect.insort(times, cand.seconds)
+            if cand.seconds < best_t:
+                best_t = cand.seconds
+                stats.trajectory.append((len(scored), cand.label, cand.seconds))
+        pos += len(take)
+    stats.scored = len(scored)
+    stats.pruned = len(work) - len(scored)
+    return [scored[i] for i in sorted(scored)]
+
+
 def autotune(
     shape: GemmShape,
     cluster: ClusterConfig,
@@ -207,6 +324,11 @@ def autotune(
     validate_top: int = 3,
     validate_op_limit: int = 60_000,
     jobs: int | None = None,
+    mode: str = "pruned",
+    transfer: bool = True,
+    transfer_tol: float | None = None,
+    plan_db: PlanDB | bool | None = None,
+    stack_hint: int | None = None,
 ) -> AutotuneResult:
     """Search both strategies' candidate grids.
 
@@ -217,11 +339,43 @@ def autotune(
     disables validation (pure analytic search — the ablation showing why
     validation matters).
 
+    ``mode="pruned"`` (default) orders candidates by a kernel-free
+    analytic lower bound (:func:`~repro.core.plan_search.plan_bound`) and
+    stops scoring once the next bound exceeds the running finalist set —
+    typically well under half the grid is ever scored, and the selected
+    plan is **bit-identical** to ``mode="exhaustive"`` (tested; see the
+    docstring of ``_pruned_scores`` for why).  Search outcomes are stored
+    in a persistent plan database keyed by shape class; ``transfer=True``
+    warm-starts the next search from the nearest tuned neighbor.  Passing
+    an explicit ``transfer_tol`` additionally allows the search to
+    *short-circuit* — adopt the neighbor's adapted plan without searching
+    when its analytic time is within ``tol`` of the whole grid's lower
+    bound; and a record stored for this *exact* shape replays outright
+    (``transfer == "replay"`` — the deterministic search's own prior
+    answer, no bounds computed).  These are the only modes that may
+    return a non-exhaustive-optimal plan, and both are flagged
+    (``Candidate.transferred``, ``SearchStats.transfer``).  ``plan_db=False``
+    disables the database entirely; ``stack_hint`` tunes for an expected
+    *stacked* M (the serve batcher's expected stack height) instead of
+    ``shape.m``.
+
     ``jobs`` fans scoring and validation across worker processes
-    (default: ``$REPRO_JOBS``, then the CPU count).  Work units are mapped
-    in candidate order and results collected in input order, so the result
-    is identical for every job count (tested).
+    (default: ``$REPRO_JOBS``, then the CPU count) — but only when a
+    persistent :func:`~repro.parallel.worker_pool` is already active or
+    the grid is large enough to amortize a pool spawn; single-shape
+    searches otherwise run serially (the BENCH_PR2 regression fix),
+    recorded as ``tuner/search_serial`` vs ``tuner/search_pooled``.  Work
+    units are mapped in candidate order and results collected in input
+    order, and any extra candidates a parallel wave scores are strictly
+    worse than the finalists, so the result is identical for every job
+    count (tested).
     """
+    if mode not in ("pruned", "exhaustive"):
+        raise PlanError(f"unknown autotune mode {mode!r}")
+    if stack_hint is not None:
+        if stack_hint < 1:
+            raise PlanError(f"stack_hint must be >= 1, got {stack_hint}")
+        shape = GemmShape(int(stack_hint), shape.n, shape.k)
     if shape.n > N_MAX:
         raise PlanError(
             f"autotune targets the irregular domain (N <= {N_MAX}), "
@@ -230,42 +384,142 @@ def autotune(
     registry = registry or registry_for(cluster.core)
     m = _obs_current()
     jobs = resolve_jobs(jobs)
+    stats = SearchStats(mode=mode, transfer_tol=transfer_tol)
     with ProfileScope("tuner/search_wall_s"):
         work = [
-            (shape, cluster, "m", plan)
-            for plan in m_plan_candidates(shape, cluster)
+            ("m", plan) for plan in m_plan_candidates(shape, cluster)
         ] + [
-            (shape, cluster, "k", plan)
-            for plan in k_plan_candidates(shape, cluster)
+            ("k", plan) for plan in k_plan_candidates(shape, cluster)
         ]
-        if jobs > 1:
-            candidates = parallel_map(_score_unit, work, jobs, chunksize=8)
-        else:
-            candidates = [
-                _score(shape, cluster, strategy, plan, registry)
-                for _shape, _cluster, strategy, plan in work
-            ]
-        if not candidates:
+        stats.generated = len(work)
+        if not work:
             raise PlanError(f"no feasible candidate plans for {shape}")
+
+        # pool amortization: fan out only when the spawn is already paid
+        # for (ambient worker_pool) or the grid can earn it back
+        pooled = jobs > 1 and (
+            active_pool() is not None or len(work) >= POOL_MIN_UNITS
+        )
+        effective_jobs = jobs if pooled else 1
+        stats.pooled = pooled
+        if m is not None and jobs > 1:
+            m.counter(
+                "tuner/search_pooled" if pooled else "tuner/search_serial"
+            ).inc()
 
         decision = tune(shape, cluster)
         if decision.strategy == "tgemm":  # pragma: no cover - guarded above
             raise PlanError("rule-based tuner fell back to TGEMM")
         rule = _score(shape, cluster, decision.strategy, decision.plan, registry)
+
+        # cross-shape transfer: look up the nearest tuned neighbor
+        db: PlanDB | None = None
+        sig: ShapeClass | None = None
+        neighbor: Candidate | None = None
+        if mode == "pruned" and transfer and plan_db is not False:
+            db = default_plan_db() if plan_db in (None, True) else plan_db
+            sig = ShapeClass.of(shape, cluster)
+            # exact-shape replay: under an explicit tolerance, a stored
+            # record for this very shape is this deterministic search's
+            # own prior answer — adopt it without touching the grid (a
+            # restarted serve warmup pays rule-tune prices)
+            if transfer_tol is not None:
+                exact = db.get(sig)
+                if (
+                    exact is not None
+                    and tuple(exact.shape) == (shape.m, shape.n, shape.k)
+                    and exact.strategy in ("m", "k")
+                ):
+                    stats.transfer = "replay"
+                    stats.neighbor = sig.key()
+                    stats.neighbor_distance = 0.0
+                    if m is not None:
+                        m.counter("tuner/transfer_hits").inc()
+                        m.counter("tuner/transfer_short_circuits").inc()
+                        m.counter("tuner/searches").inc()
+                        m.counter("tuner/candidates_evaluated").inc(1)
+                    best = Candidate(
+                        exact.strategy, exact.plan, exact.seconds,
+                        validated=exact.validated, transferred=True,
+                    )
+                    return AutotuneResult(
+                        shape=shape, best=best, rule=rule,
+                        n_candidates=len(work), stats=stats,
+                    )
+            found = db.nearest(sig)
+            if found is not None:
+                nsig, record, distance = found
+                try:
+                    nplan = record.adapted(shape, cluster)
+                    neighbor = _score(
+                        shape, cluster, record.strategy, nplan, registry
+                    )
+                    stats.transfer = "warm"
+                    stats.neighbor = nsig.key()
+                    stats.neighbor_distance = distance
+                    if m is not None:
+                        m.counter("tuner/transfer_hits").inc()
+                except PlanError:
+                    stats.transfer = "miss"
+            else:
+                stats.transfer = "miss"
+            if stats.transfer == "miss" and m is not None:
+                m.counter("tuner/transfer_misses").inc()
+
+        if mode == "pruned":
+            bounds = [plan_bound(shape, cluster, s, p) for s, p in work]
+            stats.bound_evals = len(bounds)
+            if m is not None:
+                m.counter("tuner/bound_evals").inc(len(bounds))
+
+            # explicit-tolerance short-circuit: adopt the transferred plan
+            # outright when it provably sits within tol of the best any
+            # grid candidate could possibly achieve
+            if neighbor is not None and transfer_tol is not None:
+                floor = min(bounds)
+                if neighbor.seconds <= (1.0 + transfer_tol) * floor:
+                    stats.transfer = "short_circuit"
+                    if m is not None:
+                        m.counter("tuner/transfer_short_circuits").inc()
+                        m.counter("tuner/searches").inc()
+                        m.counter("tuner/candidates_evaluated").inc(2)
+                    best = replace(neighbor, transferred=True)
+                    return AutotuneResult(
+                        shape=shape, best=best, rule=rule,
+                        n_candidates=len(work), stats=stats,
+                    )
+
+            first = None
+            if neighbor is not None:
+                first = _nearest_grid_index(
+                    work, neighbor.strategy, neighbor.plan
+                )
+            candidates = _pruned_scores(
+                shape, cluster, work, bounds, registry, effective_jobs,
+                max(1, validate_top), first, stats,
+            )
+            if m is not None and stats.pruned:
+                m.counter("tuner/pruned").inc(stats.pruned)
+        else:
+            candidates = _exhaustive_scores(
+                shape, cluster, work, registry, effective_jobs, stats
+            )
+
         if m is not None:
             m.counter("tuner/searches").inc()
-            m.counter("tuner/candidates_evaluated").inc(len(candidates) + 1)
+            m.counter("tuner/candidates_evaluated").inc(stats.scored + 1)
 
         candidates.sort(key=lambda c: c.seconds)
+        best = candidates[0]
         if validate_top > 0:
             finalists = candidates[:validate_top]
             if all(_estimate_ops(shape, c) <= validate_op_limit for c in finalists)                 and _estimate_ops(shape, rule) <= validate_op_limit:
                 with ProfileScope("tuner/des_validate_wall_s"):
-                    if jobs > 1:
+                    if effective_jobs > 1:
                         validated = parallel_map(
                             _des_unit,
                             [(shape, cluster, c) for c in [*finalists, rule]],
-                            jobs,
+                            effective_jobs,
                         )
                         finalists, rule = validated[:-1], validated[-1]
                     else:
@@ -274,14 +528,24 @@ def autotune(
                             for c in finalists
                         ]
                         rule = _des_score(shape, cluster, rule, registry)
+                stats.des_validated = len(finalists) + 1
                 if m is not None:
                     m.counter("tuner/des_validated").inc(len(finalists) + 1)
                 best = min([*finalists, rule], key=lambda c: c.seconds)
-                return AutotuneResult(
-                    shape=shape, best=best, rule=rule,
-                    n_candidates=len(candidates),
-                )
-        best = candidates[0]
-        return AutotuneResult(
-            shape=shape, best=best, rule=rule, n_candidates=len(candidates)
+        result = AutotuneResult(
+            shape=shape, best=best, rule=rule,
+            n_candidates=len(work), stats=stats,
         )
+        if db is not None and sig is not None and best.strategy in ("m", "k"):
+            db.put(
+                sig,
+                PlanRecord(
+                    strategy=best.strategy,
+                    plan_fields=dataclasses.asdict(best.plan),
+                    shape=(shape.m, shape.n, shape.k),
+                    seconds=best.seconds,
+                    validated=best.validated,
+                    scored=stats.scored,
+                ),
+            )
+        return result

@@ -166,9 +166,18 @@ def tune_many(
     :func:`tune` serially for every job count (each decision is a pure
     function of its shape).  Used by experiment sweeps that classify and
     plan hundreds of shapes.
+
+    Small batches stay serial (rule-based tuning is microseconds per
+    shape — a pool spawn would dominate; see
+    :data:`~repro.parallel.POOL_MIN_UNITS`) unless a persistent
+    :func:`~repro.parallel.worker_pool` is already active.
     """
-    from ..parallel import parallel_map
+    from ..parallel import POOL_MIN_UNITS, parallel_map
 
     return parallel_map(
-        _tune_unit, [(s, cluster, dtype) for s in shapes], jobs, chunksize=16
+        _tune_unit,
+        [(s, cluster, dtype) for s in shapes],
+        jobs,
+        chunksize=16,
+        min_units=POOL_MIN_UNITS,
     )

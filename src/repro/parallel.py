@@ -32,6 +32,19 @@ so ``repro perf`` shows what the pool survived):
 * pools that cannot be created fall back to serial execution, and after
   :data:`_BREAKER_LIMIT` consecutive such failures a process-wide breaker
   stops attempting pools at all.
+
+Amortization (the BENCH_PR2 lesson): spawning a process pool costs real
+wall time — hundreds of milliseconds on a cold interpreter — which a
+small work list can never earn back (the autotuner's ~53-candidate grid
+ran 0.66x *slower* with ``jobs=2``).  Two defenses:
+
+* ``parallel_map(..., min_units=N)`` runs serially below ``N`` work
+  units (counted as ``parallel/amortized_serial``), with
+  :data:`POOL_MIN_UNITS` as the calibrated spawn-amortization threshold;
+* :func:`worker_pool` keeps one :class:`WorkerPool` alive across many
+  ``parallel_map`` calls (counted as ``parallel/pool_reuses``) — a
+  ``tune_many`` batch or a serve warmup session spawns workers once, and
+  every subsequent search rides the warm pool.
 """
 
 from __future__ import annotations
@@ -41,6 +54,7 @@ from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from typing import TypeVar
 
 from .errors import WorkerError
@@ -52,6 +66,11 @@ R = TypeVar("R")
 
 #: consecutive pool-creation failures before giving up on pools entirely
 _BREAKER_LIMIT = 3
+
+#: work units below which a one-shot pool spawn cannot pay for itself;
+#: callers with a small fixed fan-out (the autotuner's candidate grid)
+#: should stay serial unless a persistent pool is already warm.
+POOL_MIN_UNITS = 128
 
 _consecutive_pool_failures = 0
 _pool_disabled = False
@@ -119,6 +138,84 @@ class _CollectingCall:
         return result, reg.snapshot()
 
 
+class WorkerPool:
+    """A process pool that persists across :func:`parallel_map` calls.
+
+    The executor is spawned lazily on first use and reused until
+    :meth:`close`; a worker crash discards the broken executor so the
+    next call respawns a fresh one.  Usable directly as a context
+    manager, but the usual entry point is :func:`worker_pool`, which also
+    installs the pool as the ambient default for ``parallel_map``.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self._pool: ProcessPoolExecutor | None = None
+        self._spawned = False
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            if self._spawned:
+                _count("pool_respawns")
+            self._spawned = True
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], seq: Sequence[T], chunksize: int = 1):
+        """``Executor.map`` on the persistent pool; raises
+        :class:`BrokenProcessPool` (after discarding the dead executor) so
+        the caller's retry path can take over."""
+        try:
+            return list(self._executor().map(fn, seq, chunksize=chunksize))
+        except BrokenProcessPool:
+            self._discard()
+            raise
+
+    def _discard(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+_active_pool: WorkerPool | None = None
+
+
+def active_pool() -> WorkerPool | None:
+    """The ambient persistent pool, when inside :func:`worker_pool`."""
+    return _active_pool
+
+
+@contextmanager
+def worker_pool(jobs: int | None = None):
+    """Install a persistent :class:`WorkerPool` for the enclosed block.
+
+    Every ``parallel_map`` call inside the block (without a per-task
+    ``timeout``) reuses the same worker processes instead of spawning a
+    pool per call, and skips the ``min_units`` serial cutoff — the spawn
+    cost is already paid.  Nests: the previous pool is restored on exit.
+    """
+    global _active_pool
+    pool = WorkerPool(jobs)
+    prev = _active_pool
+    _active_pool = pool
+    try:
+        yield pool
+    finally:
+        _active_pool = prev
+        pool.close()
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -127,13 +224,15 @@ def parallel_map(
     chunksize: int = 1,
     timeout: float | None = None,
     retries: int = 1,
+    min_units: int = 2,
 ) -> list[R]:
     """``[fn(x) for x in items]``, fanned across processes.
 
     Results are returned in input order regardless of completion order.
     Serial fallback when the effective job count is 1, there are fewer
-    than two items, the host refuses to fork a pool, or the pool breaker
-    has tripped.
+    than ``min_units`` items (spawn amortization — unless a persistent
+    :func:`worker_pool` is already active), the host refuses to fork a
+    pool, or the pool breaker has tripped.
 
     ``timeout`` bounds each task's wait in seconds; a task that times out
     or dies with its worker is resubmitted to a fresh pool up to
@@ -149,10 +248,15 @@ def parallel_map(
     """
     seq: Sequence[T] = items if isinstance(items, Sequence) else list(items)
     jobs = resolve_jobs(jobs, len(seq))
-    if jobs == 1 or len(seq) < 2 or _pool_disabled:
+    pool_ready = _active_pool is not None and timeout is None
+    too_small = len(seq) < 2 or (len(seq) < min_units and not pool_ready)
+    if jobs == 1 or too_small or _pool_disabled:
         # in-process: fn records straight into the ambient registry
-        if _pool_disabled and jobs > 1 and len(seq) >= 2:
-            _count("serial_fallbacks")
+        if jobs > 1 and len(seq) >= 2:
+            if _pool_disabled:
+                _count("serial_fallbacks")
+            elif too_small:
+                _count("amortized_serial")
         return [fn(x) for x in seq]
     parent = _obs_current()
     call = fn if parent is None else _CollectingCall(fn)
@@ -175,11 +279,16 @@ def _run_map(
     retries: int,
 ) -> list[R]:
     if timeout is None:
-        # fast path: Executor.map gets chunking; crashes fall through to
-        # the submit-based retry path below
+        # fast path: Executor.map gets chunking; a warm persistent pool is
+        # reused outright; crashes fall through to the submit-based retry
+        # path below
         try:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                out = list(pool.map(fn, seq, chunksize=chunksize))
+            if _active_pool is not None:
+                _count("pool_reuses")
+                out = _active_pool.map(fn, seq, chunksize=chunksize)
+            else:
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    out = list(pool.map(fn, seq, chunksize=chunksize))
             _note_pool_ok()
             return out
         except (OSError, PermissionError):

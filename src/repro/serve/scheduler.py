@@ -21,9 +21,21 @@ Three pluggable policies:
 Warmup: steady-state serving must never pay plan search or kernel
 generation on the critical path, so the scheduler pre-tunes every
 distinct bucket shape class (populating the tuner and kernel caches)
-before the stream starts.  A batch whose bucket was *not* warmed is
-charged a modeled ``cold_tune_s`` penalty once per bucket — visible in
-the latency histograms, which is the point.
+before the stream starts.  Warmup is *batch-aware*: given stack hints
+(the expected stacked M per bucket, derived from the request stream),
+each bucket is tuned at its expected batch shape instead of the first
+request's M, so the kernels cached up front are the ones the stacked
+steady state actually runs.  ``tune="search"`` upgrades warmup from the
+rule-based tuner to the real pruned plan search
+(:func:`~repro.core.autotune.autotune` with cross-shape transfer), whose
+per-bucket wall times the report keeps.
+
+A batch whose bucket was *not* warmed is charged a ``cold_tune_s``
+penalty once per bucket — visible in the latency histograms, which is
+the point.  ``cold_tune_s=None`` re-costs that penalty from the measured
+warmup tune walls (their mean) instead of the fixed modeled constant;
+note measured walls are machine-dependent, so the deterministic-replay
+contract holds only for explicit (constant) values.
 """
 
 from __future__ import annotations
@@ -42,6 +54,13 @@ POLICIES = ("fifo", "least_loaded", "edf")
 
 #: warmup granularity: one tuning decision + kernel set per (N, K, dtype).
 WarmKey = tuple[int, int, str]
+
+#: the modeled un-warmed plan-search penalty, used when ``cold_tune_s``
+#: is None and no warmup has measured real tune walls yet.
+DEFAULT_COLD_TUNE_S = 5e-4
+
+#: stack hints: expected stacked M per bucket class.
+StackHints = dict[WarmKey, int]
 
 
 @dataclass
@@ -73,6 +92,18 @@ class WarmupReport:
     n_buckets: int = 0
     wall_s: float = 0.0
     keys: list[WarmKey] = field(default_factory=list)
+    mode: str = "rule"                  # "rule" | "search"
+    hinted: int = 0                     # buckets warmed at a hinted M
+    tune_wall_s: list[float] = field(default_factory=list)
+    transfer_hits: int = 0
+    short_circuits: int = 0
+
+    @property
+    def measured_tune_s(self) -> float | None:
+        """Mean per-bucket tune wall, when any bucket was warmed."""
+        if not self.tune_wall_s:
+            return None
+        return sum(self.tune_wall_s) / len(self.tune_wall_s)
 
 
 class Scheduler:
@@ -83,7 +114,7 @@ class Scheduler:
         *,
         n_clusters: int,
         policy: str,
-        cold_tune_s: float,
+        cold_tune_s: float | None,
         machine: MachineConfig,
     ) -> None:
         if policy not in POLICIES:
@@ -98,6 +129,7 @@ class Scheduler:
         self.backends = [ClusterBackend(i) for i in range(n_clusters)]
         self._rr = 0
         self._warmed: set[WarmKey] = set()
+        self._measured_tune_s: float | None = None
 
     # -- cluster selection -------------------------------------------------
 
@@ -120,14 +152,36 @@ class Scheduler:
 
     # -- warmup ------------------------------------------------------------
 
-    def warm(self, shapes: list[tuple[GemmShape, str]]) -> WarmupReport:
+    def warm(
+        self,
+        shapes: list[tuple[GemmShape, str]],
+        *,
+        stack_hints: StackHints | None = None,
+        tune: str = "rule",
+        jobs: int | None = None,
+        transfer_tol: float = 0.25,
+    ) -> WarmupReport:
         """Pre-tune every distinct bucket class, off the critical path.
 
-        Runs a timing-only ftIMM call per distinct (N, K, dtype) — at a
-        representative M — which populates the tuner decision cache and
-        generates/caches the micro-kernels the steady state will reuse.
+        One tuning pass per distinct (N, K, dtype) at its expected
+        *stacked* M (``stack_hints``, falling back to the representative
+        request's M) — populating the tuner decision cache and
+        generating/caching the micro-kernels the stacked steady state
+        will reuse.
+
+        ``tune="rule"`` (default) runs the rule-based tuner via a
+        timing-only ftIMM call.  ``tune="search"`` runs the real pruned
+        plan search with cross-shape transfer (``transfer_tol`` lets
+        later buckets short-circuit from earlier ones); per-bucket walls
+        land in ``report.tune_wall_s`` and feed :meth:`tune_penalty` when
+        ``cold_tune_s`` is None.  Warming inside a
+        :func:`~repro.parallel.worker_pool` lets every search share one
+        warm pool.
         """
-        report = WarmupReport()
+        if tune not in ("rule", "search"):
+            raise PlanError(f"unknown warmup tune mode {tune!r}")
+        report = WarmupReport(mode=tune)
+        hints = stack_hints or {}
         t0 = time.perf_counter()
         with maybe_scope(
             "warmup", category="warmup", track="scheduler", pid=0
@@ -136,26 +190,81 @@ class Scheduler:
                 key: WarmKey = (shape.n, shape.k, dtype)
                 if key in self._warmed:
                     continue
-                ftimm_gemm(
-                    shape.m, shape.n, shape.k,
-                    machine=self.machine, timing="analytic",
+                m_eff = hints.get(key, shape.m)
+                if m_eff != shape.m:
+                    report.hinted += 1
+                t1 = time.perf_counter()
+                self._warm_one(
+                    GemmShape(max(1, int(m_eff)), shape.n, shape.k),
+                    dtype, tune, jobs, transfer_tol, report,
                 )
+                report.tune_wall_s.append(time.perf_counter() - t1)
                 self._warmed.add(key)
                 report.keys.append(key)
                 report.n_buckets += 1
             if scope is not None:
                 scope.args["n_buckets"] = report.n_buckets
+                scope.args["mode"] = tune
         report.wall_s = time.perf_counter() - t0
+        if report.tune_wall_s:
+            self._measured_tune_s = report.measured_tune_s
         m = current()
         if m is not None:
             m.counter("serve/warmup/buckets").inc(report.n_buckets)
+            if report.hinted:
+                m.counter("serve/warmup/hinted").inc(report.hinted)
         return report
 
+    def _warm_one(
+        self,
+        shape: GemmShape,
+        dtype: str,
+        tune: str,
+        jobs: int | None,
+        transfer_tol: float,
+        report: WarmupReport,
+    ) -> None:
+        if tune == "search" and dtype == "f32":
+            from ..core.autotune import autotune
+
+            try:
+                result = autotune(
+                    shape, self.machine.cluster,
+                    validate_top=1, jobs=jobs, transfer_tol=transfer_tol,
+                )
+                if result.stats is not None:
+                    if result.stats.transfer in (
+                        "warm", "short_circuit", "replay"
+                    ):
+                        report.transfer_hits += 1
+                    if result.stats.transfer in ("short_circuit", "replay"):
+                        report.short_circuits += 1
+                return
+            except PlanError:
+                pass  # outside the search domain: rule-tune below
+        ftimm_gemm(
+            shape.m, shape.n, shape.k,
+            machine=self.machine, timing="analytic", dtype=dtype,
+        )
+
     def tune_penalty(self, key: WarmKey) -> float:
-        """Modeled cold-tuning cost; zero once the bucket class is warm."""
+        """Cold-tuning cost; zero once the bucket class is warm.
+
+        An explicit ``cold_tune_s`` is charged as-is (the deterministic
+        default); ``cold_tune_s=None`` charges the mean measured warmup
+        tune wall (machine-dependent), or :data:`DEFAULT_COLD_TUNE_S`
+        when nothing has been measured.
+        """
         if key in self._warmed:
             return 0.0
         self._warmed.add(key)
+        penalty = self.cold_tune_s
+        if penalty is None:
+            penalty = (
+                self._measured_tune_s
+                if self._measured_tune_s is not None
+                else DEFAULT_COLD_TUNE_S
+            )
         m = current()
         if m is not None:
             m.counter("serve/tune/cold").inc()
@@ -167,9 +276,9 @@ class Scheduler:
                 track="scheduler",
                 pid=0,
                 args={"n": key[0], "k": key[1], "dtype": key[2],
-                      "penalty_s": self.cold_tune_s},
+                      "penalty_s": penalty},
             )
-        return self.cold_tune_s
+        return penalty
 
     # -- accounting --------------------------------------------------------
 

@@ -39,7 +39,7 @@ from ..faults.plan import FaultPlan
 from ..hw.config import MachineConfig, default_machine
 from ..obs import current
 from ..obs.trace import current_tracer, maybe_scope
-from .batcher import Batch, ShapeBucketBatcher, bucket_key, bucket_label
+from .batcher import Batch, ShapeBucketBatcher, bucket_key, bucket_label, dtype_tag
 from .request import (
     COMPLETED,
     FAILED,
@@ -49,9 +49,31 @@ from .request import (
     GemmRequest,
     RequestRecord,
 )
-from .scheduler import Scheduler, WarmupReport
+from .scheduler import Scheduler, StackHints, WarmKey, WarmupReport
 
 FP32 = 4
+
+
+def expected_stack_hints(
+    requests: list[GemmRequest], max_batch: int
+) -> StackHints:
+    """Expected stacked M per bucket class, from the request stream.
+
+    For each (N, K, dtype) class, the batcher will split the class's
+    requests into stacks of at most ``max_batch``; the expected stacked M
+    is total M over the expected batch count.  Purely a function of the
+    request list and ``max_batch`` — deterministic, so hinted warmup
+    keeps the replay contract.
+    """
+    per: dict[WarmKey, list[int]] = {}
+    for req in requests:
+        key: WarmKey = (req.shape.n, req.shape.k, dtype_tag(req.b.dtype))
+        per.setdefault(key, []).append(req.shape.m)
+    hints: StackHints = {}
+    for key, ms in per.items():
+        n_batches = max(1, -(-len(ms) // max(1, max_batch)))
+        hints[key] = max(1, round(sum(ms) / n_batches))
+    return hints
 
 
 @dataclass(frozen=True)
@@ -66,7 +88,17 @@ class ServeConfig:
     queue_cap: int = 64            # admitted requests not yet started
     by_digest: bool = True         # shared-B detection via content digest
     warmup: bool = True
-    cold_tune_s: float = 5e-4      # modeled un-warmed plan-search penalty
+    #: warmup tuner: "rule" (rule-based, the deterministic default) or
+    #: "search" (real pruned plan search with cross-shape transfer)
+    warmup_tune: str = "rule"
+    #: warm each bucket at its expected *stacked* M from the request
+    #: stream instead of the first request's M (batch-aware tuning);
+    #: affects only which plans/kernels are pre-cached, never results
+    stack_hints: bool = True
+    #: modeled un-warmed plan-search penalty; None = charge the measured
+    #: warmup tune wall instead (machine-dependent — replay determinism
+    #: holds only for explicit constants)
+    cold_tune_s: float | None = 5e-4
     verify: bool = True
     timing: str = "analytic"
     faults: FaultPlan | None = None
@@ -78,6 +110,11 @@ class ServeConfig:
             raise PlanError("queue_cap must be >= 1")
         if self.max_redispatch < 0:
             raise PlanError("max_redispatch must be >= 0")
+        if self.warmup_tune not in ("rule", "search"):
+            raise PlanError(
+                f"warmup_tune must be 'rule' or 'search', "
+                f"got {self.warmup_tune!r}"
+            )
 
 
 @dataclass
@@ -157,6 +194,23 @@ class ServeReport:
         if not self.batches:
             return 0.0
         return sum(b.n_items for b in self.batches) / len(self.batches)
+
+    def stack_hints(self) -> StackHints:
+        """Observed mean stacked M per bucket class.
+
+        Deterministic (a pure function of the batch records), so a later
+        run — e.g. the next point of a load sweep — can warm with the
+        stack heights this run actually saw instead of the a-priori
+        estimate of :func:`expected_stack_hints`.
+        """
+        per: dict[WarmKey, list[int]] = {}
+        for b in self.batches:
+            head, dtype, _tag = b.bucket.split("/")
+            _star, n, k = head.split("x")
+            per.setdefault((int(n), int(k), dtype), []).append(b.stacked_m)
+        return {
+            key: max(1, round(sum(ms) / len(ms))) for key, ms in per.items()
+        }
 
     def latency_quantile(self, q: float) -> float:
         """Exact q-quantile of completed-request latency (seconds)."""
@@ -684,8 +738,17 @@ def serve(
     config: ServeConfig | None = None,
     *,
     machine: MachineConfig | None = None,
+    stack_hints: StackHints | None = None,
+    warm_jobs: int | None = None,
 ) -> ServeReport:
-    """Serve an open-loop request stream; returns one record per request."""
+    """Serve an open-loop request stream; returns one record per request.
+
+    ``stack_hints`` overrides the expected-stacked-M estimate the warmup
+    tunes at (e.g. an earlier run's :meth:`ServeReport.stack_hints`);
+    ``warm_jobs`` fans a ``warmup_tune="search"`` warmup across worker
+    processes.  Neither affects the simulated results — warmup only
+    pre-populates plan/kernel caches.
+    """
     config = config or ServeConfig()
     machine = machine or default_machine()
     if not requests:
@@ -693,12 +756,21 @@ def serve(
     ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
 
     loop = _ServeLoop(ordered, config, machine)
-    warmup = WarmupReport()
+    warmup = WarmupReport(mode=config.warmup_tune)
     if config.warmup:
-        seen: dict[tuple[int, int], GemmShape] = {}
+        seen: dict[WarmKey, GemmShape] = {}
         for req in ordered:
-            seen.setdefault((req.shape.n, req.shape.k), req.shape)
-        warmup = loop.sched.warm([(s, "f32") for s in seen.values()])
+            key = (req.shape.n, req.shape.k, dtype_tag(req.b.dtype))
+            seen.setdefault(key, req.shape)
+        hints: StackHints | None = stack_hints
+        if hints is None and config.stack_hints:
+            hints = expected_stack_hints(ordered, config.max_batch)
+        warmup = loop.sched.warm(
+            [(s, key[2]) for key, s in seen.items()],
+            stack_hints=hints,
+            tune=config.warmup_tune,
+            jobs=warm_jobs,
+        )
     loop.run()
 
     records = [loop.records[r.req_id] for r in sorted(

@@ -11,7 +11,16 @@ from repro.core.autotune import autotune
 from repro.core.shapes import GemmShape
 from repro.core.tuner import tune, tune_many
 from repro.hw.config import default_machine
-from repro.parallel import default_jobs, parallel_map, resolve_jobs
+from repro.obs import collecting
+from repro.parallel import (
+    POOL_MIN_UNITS,
+    WorkerPool,
+    active_pool,
+    default_jobs,
+    parallel_map,
+    resolve_jobs,
+    worker_pool,
+)
 
 
 def _square(x: int) -> int:
@@ -20,6 +29,10 @@ def _square(x: int) -> int:
 
 def _neg(x: int) -> int:
     return -x
+
+
+def _raise(x: int) -> int:
+    raise ValueError(x)
 
 
 class TestJobsResolution:
@@ -70,6 +83,57 @@ class TestParallelMap:
     def test_accepts_generators(self):
         assert parallel_map(_square, (x for x in (2, 3)), jobs=2) == [4, 9]
 
+    def test_min_units_stays_serial(self):
+        """Below the amortization floor, jobs>1 must not spawn a pool."""
+        items = list(range(8))
+        with collecting() as reg:
+            out = parallel_map(
+                _square, items, jobs=4, min_units=POOL_MIN_UNITS
+            )
+        assert out == [x * x for x in items]
+        snap = reg.snapshot()
+        assert snap["parallel/amortized_serial"]["value"] == 1
+        assert "parallel/pool_reuses" not in snap
+
+    def test_min_units_overridden_by_active_pool(self):
+        """A warm ambient pool is free: small batches may ride it."""
+        items = list(range(8))
+        with collecting() as reg, worker_pool(2):
+            out = parallel_map(
+                _square, items, jobs=2, min_units=POOL_MIN_UNITS
+            )
+        assert out == [x * x for x in items]
+        assert reg.snapshot()["parallel/pool_reuses"]["value"] == 1
+
+
+class TestWorkerPool:
+    def test_result_identity_for_every_job_count(self):
+        items = list(range(40, -1, -1))
+        expect = [x * x for x in items]
+        for jobs in (1, 2, 3):
+            with WorkerPool(jobs) as pool:
+                assert list(pool.map(_square, items)) == expect
+
+    def test_pool_reused_across_maps(self):
+        with collecting() as reg, worker_pool(2) as pool:
+            assert active_pool() is pool
+            for _ in range(3):
+                parallel_map(_square, [1, 2, 3], jobs=2)
+        assert active_pool() is None
+        assert reg.snapshot()["parallel/pool_reuses"]["value"] == 3
+
+    def test_nested_pools_restore_outer(self):
+        with worker_pool(2) as outer:
+            with worker_pool(2) as inner:
+                assert active_pool() is inner
+            assert active_pool() is outer
+        assert active_pool() is None
+
+    def test_exceptions_propagate(self):
+        with WorkerPool(1) as pool:
+            with pytest.raises(ValueError):
+                list(pool.map(_raise, [1]))
+
 
 class TestAutotuneIdentity:
     @pytest.fixture(scope="class")
@@ -78,11 +142,24 @@ class TestAutotuneIdentity:
 
     def test_parallel_equals_serial(self, cluster):
         shape = GemmShape(512, 32, 512)
-        serial = autotune(shape, cluster, validate_top=1, jobs=1)
-        fanned = autotune(shape, cluster, validate_top=1, jobs=2)
+        serial = autotune(shape, cluster, validate_top=1, jobs=1,
+                          plan_db=False)
+        fanned = autotune(shape, cluster, validate_top=1, jobs=2,
+                          plan_db=False)
         assert fanned.best == serial.best
         assert fanned.rule == serial.rule
         assert fanned.n_candidates == serial.n_candidates
+
+    def test_parallel_identity_inside_warm_pool(self, cluster):
+        """A warm ambient pool changes the wave schedule, not the result."""
+        shape = GemmShape(512, 32, 512)
+        serial = autotune(shape, cluster, validate_top=1, jobs=1,
+                          plan_db=False)
+        with worker_pool(2):
+            pooled = autotune(shape, cluster, validate_top=1, jobs=2,
+                              plan_db=False)
+        assert pooled.best == serial.best
+        assert pooled.stats.pooled
 
     def test_tune_many_equals_tune(self, cluster):
         shapes = [
