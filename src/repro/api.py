@@ -51,12 +51,18 @@ from .obs import (
     tracing,
 )
 from .serve import (
+    DegradePolicy,
+    DegradeReport,
     GemmRequest,
+    HealthPolicy,
+    PriorityClass,
+    ServeChaosReport,
     ServeConfig,
     ServeReport,
     SloPolicy,
     SloReport,
     SweepResult,
+    chaos_serve,
     make_requests,
     monitor,
     serve,
@@ -85,6 +91,12 @@ __all__ = [
     "CriticalPathReport",
     "critical_path",
     "DegradationWindow",
+    "DegradePolicy",
+    "DegradeReport",
+    "HealthPolicy",
+    "PriorityClass",
+    "ServeChaosReport",
+    "chaos_serve",
     "FaultPlan",
     "FaultReport",
     "GroupedGemmResult",

@@ -367,8 +367,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import dataclasses
 
     from .analysis.critical_path import critical_path
+    from .faults.plan import FaultPlan
     from .obs import append_record, collecting, make_record, tracing
-    from .serve import ServeConfig, make_requests, monitor, serve, sweep
+    from .serve import (
+        DegradePolicy,
+        ServeConfig,
+        chaos_serve,
+        make_requests,
+        monitor,
+        serve,
+        sweep,
+    )
 
     try:
         loads = sorted(float(x) for x in args.loads.split(","))
@@ -393,7 +402,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         warmup_tune=args.warm_tune,
         stack_hints=not args.no_stack_hints,
         cold_tune_s=cold_tune_s,
+        degrade=(DegradePolicy()
+                 if (args.degrade or args.chaos) else None),
+        trace_sample=args.trace_sample,
     )
+
+    if args.chaos:
+        # serve-level chaos: one sick cluster under aggressive bit-flips
+        # at the highest offered load, contract-audited end to end
+        n_clusters = default_machine().n_clusters
+        chaos_config = dataclasses.replace(
+            config,
+            faults=FaultPlan(
+                seed=args.seed, bitflip_rate=1.0, max_kernel_retries=0,
+            ),
+            cluster_fault_scale=(1.0,) + (0.0,) * (n_clusters - 1),
+        )
+        requests = make_requests(
+            args.mix, rate_rps=loads[-1], n_requests=args.n,
+            seed=args.seed, arrivals=args.arrivals,
+        )
+        with collecting() as reg:
+            chaos = chaos_serve(requests, chaos_config)
+        print(chaos.describe())
+        degrade_counts = {
+            name[len("serve/degrade/"):]: v["value"]
+            for name, v in reg.snapshot().items()
+            if name.startswith("serve/degrade/")
+        }
+        if degrade_counts:
+            print("degrade counters: " + "  ".join(
+                f"{k}={v:g}" for k, v in sorted(degrade_counts.items())
+            ))
+        return 0 if chaos.ok else 1
+
     with collecting() as reg:
         result = sweep(
             args.mix, loads,
@@ -741,6 +783,21 @@ def build_parser() -> argparse.ArgumentParser:
                               "machine-dependent)")
     p_serve.add_argument("--compare-naive", action="store_true",
                          help="also sweep the one-call-per-request baseline")
+    p_serve.add_argument("--degrade", action="store_true",
+                         help="enable graceful degradation: priority "
+                              "classes, burn-driven proactive shedding "
+                              "and cluster quarantine")
+    p_serve.add_argument("--chaos", action="store_true",
+                         help="run the serve-level chaos harness instead "
+                              "of the sweep: one sick cluster under "
+                              "bit-flips at the highest offered load, "
+                              "end-to-end contract audited (implies "
+                              "--degrade; non-zero exit on violation)")
+    p_serve.add_argument("--trace-sample", type=float, default=1.0,
+                         metavar="RATE",
+                         help="deterministic per-request trace sampling "
+                              "rate in [0, 1]; sheds, failures and SLO "
+                              "misses are always kept (default 1.0)")
     p_serve.add_argument("--latency-table", action="store_true",
                          help="print the per-request latency table at the "
                               "highest offered load")

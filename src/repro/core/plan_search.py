@@ -248,24 +248,55 @@ class PlanRecord:
 
 
 class PlanDB:
-    """Persistent cross-shape plan database.
+    """Persistent cross-shape plan database, aged and size-bounded.
 
-    One JSON file of ``{signature key: {sig, record}}`` under ``root``
-    (``None`` = memory-only), loaded lazily.  Saves are atomic (temp file
-    + rename); a corrupt or truncated file is quarantined to ``*.bad``
-    and the database starts empty — surfaced as a
+    One JSON file of ``{signature key: {sig, record, gen, tick}}`` under
+    ``root`` (``None`` = memory-only), loaded lazily.  Saves are atomic
+    (temp file + rename); a corrupt or truncated file is quarantined to
+    ``*.bad`` and the database starts empty — surfaced as a
     ``tuner/plandb/quarantined`` counter, never a crash.
+
+    Two staleness guards on top:
+
+    * every entry is stamped with the kernel ``GENERATOR_VERSION`` it
+      was tuned under; a generator bump invalidates the stale entries
+      individually on load (``tuner/plandb/invalidated``) instead of
+      transferring plans whose kernels no longer exist;
+    * the database holds at most ``max_entries`` records — inserts over
+      the cap evict the least-recently-used entry (``get``/``nearest``
+      hits refresh recency; ``tuner/plandb/evicted``), so a long-lived
+      serving cache cannot grow without bound.
     """
 
     FILENAME = f"plans-v{PLAN_DB_FORMAT}.json"
 
-    def __init__(self, root: Path | str | None = None) -> None:
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        *,
+        max_entries: int = 256,
+    ) -> None:
+        if max_entries < 1:
+            raise PlanError("max_entries must be >= 1")
         self.root = Path(root) if root is not None else None
+        self.max_entries = max_entries
         self._entries: dict[str, tuple[ShapeClass, PlanRecord]] | None = None
+        self._ticks: dict[str, int] = {}
+        self._tick = 0
 
     @property
     def path(self) -> Path | None:
         return self.root / self.FILENAME if self.root is not None else None
+
+    @staticmethod
+    def _generator_version() -> int:
+        from ..kernels.generator import GENERATOR_VERSION
+
+        return GENERATOR_VERSION
+
+    def _touch(self, key: str) -> None:
+        self._tick += 1
+        self._ticks[key] = self._tick
 
     # -- persistence -------------------------------------------------------
 
@@ -273,33 +304,52 @@ class PlanDB:
         if self._entries is not None:
             return self._entries
         self._entries = {}
+        self._ticks = {}
+        self._tick = 0
         path = self.path
         if path is None or not path.exists():
             return self._entries
+        gen = self._generator_version()
+        invalidated = 0
         try:
             raw = json.loads(path.read_text())
             for key, payload in raw.items():
+                if int(payload.get("gen", -1)) != gen:
+                    # tuned under a different kernel generator: its
+                    # kernels (and maybe its plan grammar) are gone
+                    invalidated += 1
+                    continue
                 sig = ShapeClass(**payload["sig"])
                 self._entries[key] = (sig, PlanRecord.from_dict(payload["record"]))
+                self._ticks[key] = int(payload.get("tick", 0))
+            self._tick = max(self._ticks.values(), default=0)
         except (OSError, json.JSONDecodeError, KeyError, TypeError,
                 ValueError, PlanError):
             self._entries = {}
+            self._ticks = {}
+            self._tick = 0
             _count("plandb/quarantined")
             try:
                 os.replace(path, path.with_name(path.name + ".bad"))
             except OSError:
                 pass
+            return self._entries
+        if invalidated:
+            _count("plandb/invalidated", invalidated)
         return self._entries
 
     def _save(self) -> None:
         path = self.path
         if path is None or self._entries is None:
             return
+        gen = self._generator_version()
         blob = json.dumps(
             {
                 key: {
                     "sig": dataclasses.asdict(sig),
                     "record": rec.to_dict(),
+                    "gen": gen,
+                    "tick": self._ticks.get(key, 0),
                 }
                 for key, (sig, rec) in self._entries.items()
             },
@@ -326,8 +376,12 @@ class PlanDB:
     # -- queries -----------------------------------------------------------
 
     def get(self, sig: ShapeClass) -> PlanRecord | None:
-        entry = self._load().get(sig.key())
-        return entry[1] if entry is not None else None
+        key = sig.key()
+        entry = self._load().get(key)
+        if entry is None:
+            return None
+        self._touch(key)
+        return entry[1]
 
     def nearest(
         self, sig: ShapeClass, *, max_distance: float = 4.0
@@ -342,10 +396,24 @@ class PlanDB:
                 best = (d, key, other, rec)
         if best is None:
             return None
+        self._touch(best[1])
         return best[2], best[3], best[0]
 
     def put(self, sig: ShapeClass, record: PlanRecord) -> None:
-        self._load()[sig.key()] = (sig, record)
+        entries = self._load()
+        key = sig.key()
+        entries[key] = (sig, record)
+        self._touch(key)
+        evicted = 0
+        while len(entries) > self.max_entries:
+            victim = min(
+                entries, key=lambda k: (self._ticks.get(k, 0), k)
+            )
+            del entries[victim]
+            self._ticks.pop(victim, None)
+            evicted += 1
+        if evicted:
+            _count("plandb/evicted", evicted)
         self._save()
 
     def __len__(self) -> int:

@@ -96,16 +96,39 @@ class WorkerError(ReproError):
 
 
 class OverloadError(ReproError):
-    """The serving layer shed a request: the admission queue was full.
+    """The serving layer shed a request.
 
-    Carries the request id and the queue capacity so shed responses are
-    attributable.  Shedding is always *loud* — a shed request gets a
-    response carrying this error and is counted, never dropped silently.
+    Carries the request id, the queue capacity and a typed ``reason`` so
+    shed responses are attributable:
+
+    * ``queue_full`` — the admission queue was at capacity (the classic
+      bounded-queue backpressure);
+    * ``class_shed`` — the request's priority class hit its per-class
+      admission threshold while the queue still had room (loose-SLO bulk
+      is dropped before tight-SLO interactive);
+    * ``burn_shed``  — the online SLO burn-rate estimate crossed the
+      degradation policy's threshold, so low-priority work is shed
+      *before* the error budget is gone.
+
+    Shedding is always *loud* — a shed request gets a response carrying
+    this error and is counted, never dropped silently.
     """
 
-    def __init__(self, req_id: int, capacity: int) -> None:
-        super().__init__(
-            f"request {req_id} shed: admission queue full (capacity {capacity})"
-        )
+    REASONS = ("queue_full", "class_shed", "burn_shed")
+
+    def __init__(
+        self, req_id: int, capacity: int, reason: str = "queue_full"
+    ) -> None:
+        if reason not in self.REASONS:
+            raise ValueError(f"unknown shed reason {reason!r}")
+        detail = {
+            "queue_full": f"admission queue full (capacity {capacity})",
+            "class_shed": "priority-class admission threshold "
+                          f"(capacity {capacity})",
+            "burn_shed": "SLO burn-rate protection "
+                         f"(capacity {capacity})",
+        }[reason]
+        super().__init__(f"request {req_id} shed: {detail}")
         self.req_id = req_id
         self.capacity = capacity
+        self.reason = reason

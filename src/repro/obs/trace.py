@@ -30,6 +30,7 @@ The exported JSON is Chrome-trace-event format (``traceEvents`` with
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 from contextlib import contextmanager
@@ -436,3 +437,22 @@ def maybe_scope(name: str, **kwargs: Any) -> Iterator[_Scope | None]:
     else:
         with tracer.scope(name, **kwargs) as handle:
             yield handle
+
+
+def head_sample(key: object, rate: float, seed: int = 0) -> bool:
+    """Deterministic head-based sampling decision for ``key``.
+
+    Hashes ``key`` (its ``str``) with blake2b and keeps it iff the
+    64-bit digest falls below ``rate`` of the hash space — the same key
+    yields the same verdict on every host and every run, which is what
+    lets a sampled trace replay bit-for-bit.  ``rate >= 1`` keeps
+    everything, ``rate <= 0`` drops everything.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    digest = hashlib.blake2b(
+        f"{seed}:{key}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") < rate * 2**64

@@ -19,10 +19,25 @@ latency numbers:
 * :mod:`repro.serve.harness`   — offered-load sweeps and the
   saturation-curve experiment (``repro serve`` on the CLI);
 * :mod:`repro.serve.slo`       — error-budget / burn-rate SLO monitoring
-  over serve records, with typed run-log alerts.
+  over serve records, with typed run-log alerts;
+* :mod:`repro.serve.degrade`   — graceful degradation: priority classes,
+  burn-driven proactive shedding, cluster quarantine, and the
+  serve-level chaos harness.
 """
 
 from .batcher import Batch, ShapeBucketBatcher, bucket_key, bucket_label
+from .degrade import (
+    BULK,
+    INTERACTIVE,
+    DegradeEvent,
+    DegradePolicy,
+    DegradeReport,
+    HealthPolicy,
+    OnlineBurn,
+    PriorityClass,
+    ServeChaosReport,
+    chaos_serve,
+)
 from .harness import SweepPoint, SweepResult, sweep
 from .loadgen import (
     MIXES,
@@ -43,16 +58,25 @@ from .slo import (
 )
 
 __all__ = [
+    "BULK",
     "Batch",
     "BatchRecord",
     "BurnWindow",
     "ClusterBackend",
+    "DegradeEvent",
+    "DegradePolicy",
+    "DegradeReport",
     "GemmRequest",
+    "HealthPolicy",
+    "INTERACTIVE",
     "MIXES",
+    "OnlineBurn",
     "POLICIES",
+    "PriorityClass",
     "RequestRecord",
     "SLO_SCHEMA",
     "Scheduler",
+    "ServeChaosReport",
     "ServeConfig",
     "ServeReport",
     "ShapeBucketBatcher",
@@ -65,6 +89,7 @@ __all__ = [
     "WarmupReport",
     "bucket_key",
     "bucket_label",
+    "chaos_serve",
     "get_mix",
     "make_requests",
     "monitor",

@@ -1,0 +1,425 @@
+"""Graceful degradation: priority classes, proactive shedding, quarantine.
+
+The serve loop's baseline admission control is a single bounded queue —
+under overload it sheds whatever arrives at a full queue, regardless of
+how much that request mattered.  This module adds the policy layer that
+decides *what to lose first* when the world goes wrong, plus the chaos
+harness that proves the answer is still correct:
+
+* :class:`PriorityClass` / :class:`DegradePolicy` — weighted admission
+  classes (``interactive`` / ``bulk`` by default).  Each class carries a
+  per-class admission threshold (``admit_above``: the queue-fill
+  fraction above which this class is shed while higher classes still
+  get in) and a ``burn_shed`` flag marking it sheddable under SLO
+  pressure.  Unlabeled requests are classified by their deadline budget.
+* **Online burn estimation** (:class:`OnlineBurn`) — the post-hoc
+  burn-rate monitor of :mod:`repro.serve.slo`, lifted online: outcome
+  events feed a causal sliding window, and the admission controller
+  reads the live fast-window burn to shed sheddable classes *before*
+  the error budget is gone.  Deliberate (class/burn) sheds are excluded
+  from the estimate — feeding them back would latch shedding on forever;
+  only genuine badness (late completions, failures, queue-full drops)
+  counts.
+* :class:`HealthPolicy` — the per-cluster breaker the scheduler runs:
+  ``fault_threshold`` consecutive faulted attempts quarantine a cluster
+  for ``cooldown_s`` (exponential backoff up to ``max_cooldown_s``);
+  after the cooldown the next routing decision *probes* it — a clean
+  batch recovers it, another fault re-quarantines it.
+* :func:`chaos_serve` — faults *under load*.  Composes any seeded
+  :class:`~repro.faults.plan.FaultPlan` with a request stream and
+  asserts the end-to-end contract independently of the server's own
+  verification: every completed response bit-identical to a standalone
+  ``ftimm_gemm``, every loss carrying a typed reason, and the whole run
+  reproducible from the seed.
+
+Everything here is deterministic in simulated time: the burn estimator
+and the breaker are pure functions of the (seeded) event stream, so a
+degraded run replays bit-for-bit like a healthy one.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PlanError
+from .request import COMPLETED, GemmRequest
+
+# ---------------------------------------------------------------------------
+# priority classes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PriorityClass:
+    """One weighted admission class.
+
+    ``admit_above`` is the queue-fill fraction at which this class stops
+    being admitted (1.0 = only shed at a genuinely full queue, i.e. the
+    legacy behavior).  ``burn_shed`` marks the class sheddable when the
+    online burn estimate crosses the policy threshold.  ``max_budget_s``
+    classifies unlabeled requests: a request whose relative deadline is
+    at most this budget belongs to the class (``None`` = catch-all).
+    """
+
+    name: str
+    weight: float = 1.0
+    admit_above: float = 1.0
+    burn_shed: bool = False
+    max_budget_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise PlanError(f"class {self.name}: weight must be > 0")
+        if not 0.0 < self.admit_above <= 1.0:
+            raise PlanError(
+                f"class {self.name}: admit_above must be in (0, 1]"
+            )
+        if self.max_budget_s is not None and self.max_budget_s <= 0:
+            raise PlanError(f"class {self.name}: max_budget_s must be > 0")
+
+
+#: tight-SLO work: admitted while the queue has any room, never
+#: proactively shed — the class the degradation machinery protects.
+INTERACTIVE = PriorityClass(
+    "interactive", weight=2.0, admit_above=1.0, burn_shed=False,
+    max_budget_s=4e-3,
+)
+
+#: loose-SLO bulk work: shed first — above 75% queue fill and whenever
+#: the burn estimate says the error budget is on fire.
+BULK = PriorityClass(
+    "bulk", weight=1.0, admit_above=0.75, burn_shed=True,
+    max_budget_s=None,
+)
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Per-cluster breaker: quarantine after faults, probe back after."""
+
+    fault_threshold: int = 2       # consecutive faulted attempts to trip
+    cooldown_s: float = 2e-3       # first quarantine duration
+    backoff: float = 2.0           # cooldown multiplier per re-quarantine
+    max_cooldown_s: float = 1.6e-2
+
+    def __post_init__(self) -> None:
+        if self.fault_threshold < 1:
+            raise PlanError("fault_threshold must be >= 1")
+        if self.cooldown_s <= 0:
+            raise PlanError("cooldown_s must be > 0")
+        if self.backoff < 1.0:
+            raise PlanError("backoff must be >= 1")
+        if self.max_cooldown_s < self.cooldown_s:
+            raise PlanError("max_cooldown_s must be >= cooldown_s")
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """The whole graceful-degradation configuration (hashable).
+
+    ``ServeConfig(degrade=DegradePolicy())`` turns on class-aware
+    admission, burn-driven proactive shedding and (unless ``health`` is
+    None) cluster quarantine; ``degrade=None`` keeps the serve loop
+    bit-identical to the policy-free baseline.
+    """
+
+    classes: tuple[PriorityClass, ...] = (INTERACTIVE, BULK)
+    #: online burn estimation (mirrors SloPolicy's fast window)
+    burn_objective: float = 0.99
+    burn_window_s: float = 5e-3
+    burn_threshold: float = 8.0
+    burn_min_events: int = 8
+    health: HealthPolicy | None = HealthPolicy()
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise PlanError("degrade policy needs at least one class")
+        names = [c.name for c in self.classes]
+        if len(set(names)) != len(names):
+            raise PlanError(f"duplicate class names: {names}")
+        if not 0.0 < self.burn_objective < 1.0:
+            raise PlanError("burn_objective must be in (0, 1)")
+        if self.burn_window_s <= 0:
+            raise PlanError("burn_window_s must be > 0")
+        if self.burn_threshold <= 0:
+            raise PlanError("burn_threshold must be > 0")
+        if self.burn_min_events < 1:
+            raise PlanError("burn_min_events must be >= 1")
+
+    def classify(self, req: GemmRequest) -> PriorityClass:
+        """The class a request belongs to.
+
+        An explicit ``req.priority`` label wins; otherwise the request's
+        relative deadline budget is matched against the classes'
+        ``max_budget_s`` in declaration order, falling through to the
+        last class (the catch-all — no deadline means bulk).
+        """
+        if req.priority is not None:
+            for cls in self.classes:
+                if cls.name == req.priority:
+                    return cls
+            raise PlanError(
+                f"request {req.req_id}: unknown priority "
+                f"{req.priority!r} (have "
+                f"{', '.join(c.name for c in self.classes)})"
+            )
+        budget = (
+            req.deadline_s - req.arrival_s
+            if req.deadline_s is not None else None
+        )
+        for cls in self.classes:
+            if (
+                cls.max_budget_s is not None
+                and budget is not None
+                and budget <= cls.max_budget_s
+            ):
+                return cls
+        return self.classes[-1]
+
+
+# ---------------------------------------------------------------------------
+# online burn estimation
+# ---------------------------------------------------------------------------
+
+
+class OnlineBurn:
+    """Causal sliding-window burn-rate estimator.
+
+    The post-hoc monitor (:func:`repro.serve.slo.monitor`) replays
+    finished records; this one is fed outcome events *as the simulated
+    run produces them* (finish times arrive out of order relative to
+    admissions) and answers "what is the burn right now" using only
+    events at or before ``now`` — admission decisions never see the
+    future.  ``burn = bad_fraction_in_window / (1 - objective)``, with
+    a ``min_events`` guard so one early failure cannot trip shedding.
+    """
+
+    def __init__(
+        self, *, objective: float, window_s: float, min_events: int
+    ) -> None:
+        self.budget = 1.0 - objective
+        self.window_s = window_s
+        self.min_events = min_events
+        self._times: list[float] = []      # all outcome events, sorted
+        self._bad: list[float] = []        # bad outcome events, sorted
+        self.peak = 0.0
+
+    @property
+    def n_events(self) -> int:
+        return len(self._times)
+
+    def add(self, at_s: float, bad: bool) -> None:
+        insort(self._times, at_s)
+        if bad:
+            insort(self._bad, at_s)
+            self.peak = max(self.peak, self.burn_at(at_s))
+
+    def burn_at(self, now: float) -> float:
+        """The live burn estimate over ``(now - window, now]``."""
+        lo = now - self.window_s
+        total = bisect_right(self._times, now) - bisect_right(self._times, lo)
+        if total < self.min_events:
+            return 0.0
+        bad = bisect_right(self._bad, now) - bisect_right(self._bad, lo)
+        return (bad / total) / self.budget
+
+
+# ---------------------------------------------------------------------------
+# degradation reporting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DegradeEvent:
+    """One cluster-health transition on the simulated timeline."""
+
+    at_s: float
+    cluster: int
+    kind: str                      # quarantine | probe | recover
+    detail: str = ""
+
+    def describe(self) -> str:
+        line = (f"t={self.at_s * 1e3:8.3f} ms  cluster {self.cluster}  "
+                f"{self.kind}")
+        if self.detail:
+            line += f"  ({self.detail})"
+        return line
+
+
+@dataclass
+class DegradeReport:
+    """What the degradation machinery did during one serve run."""
+
+    shed_queue_full: int = 0
+    shed_class: int = 0
+    shed_burn: int = 0
+    peak_burn: float = 0.0
+    burn_threshold: float = 0.0
+    faults: int = 0                # faulted dispatch attempts observed
+    quarantines: int = 0
+    probes: int = 0
+    recoveries: int = 0
+    shed_by_class: dict[str, int] = field(default_factory=dict)
+    events: list[DegradeEvent] = field(default_factory=list)
+
+    @property
+    def proactive_sheds(self) -> int:
+        return self.shed_class + self.shed_burn
+
+    def describe(self) -> str:
+        lines = [
+            "degradation: "
+            f"shed queue_full={self.shed_queue_full} "
+            f"class={self.shed_class} burn={self.shed_burn}"
+            + (
+                " ("
+                + ", ".join(
+                    f"{name}={n}"
+                    for name, n in sorted(self.shed_by_class.items())
+                )
+                + ")"
+                if self.shed_by_class else ""
+            ),
+            f"  peak online burn {self.peak_burn:.1f}x "
+            f"(shed threshold {self.burn_threshold:g}x)",
+            f"  cluster health: {self.faults} faulted attempt(s), "
+            f"{self.quarantines} quarantine(s), {self.probes} probe(s), "
+            f"{self.recoveries} recover(y/ies)",
+        ]
+        if self.events:
+            lines.append("  timeline:")
+            lines.extend(f"    {e.describe()}" for e in self.events)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# serve-level chaos harness
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServeChaosReport:
+    """Outcome of one chaos serve run against the end-to-end contract."""
+
+    report: object                 # the first run's ServeReport
+    silent: list[int] = field(default_factory=list)   # corrupted req ids
+    untyped: list[int] = field(default_factory=list)  # losses w/o reason
+    deterministic: bool | None = None                 # None = not checked
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.silent
+            and not self.untyped
+            and self.deterministic is not False
+        )
+
+    def describe(self) -> str:
+        rep = self.report
+        lines = [
+            f"chaos serve: {rep.n_requests} requests -> "
+            f"{rep.completed} completed, {rep.shed} shed, "
+            f"{rep.failed} failed ({rep.redispatches} re-dispatches)",
+            f"  silent corruptions: {len(self.silent)}"
+            + (f" {self.silent}" if self.silent else ""),
+            f"  untyped losses: {len(self.untyped)}"
+            + (f" {self.untyped}" if self.untyped else ""),
+            "  deterministic replay: "
+            + {True: "yes", False: "NO", None: "not checked"}[
+                self.deterministic
+            ],
+        ]
+        if rep.degrade is not None:
+            lines.append(rep.degrade.describe())
+        lines.append("  contract: " + ("OK" if self.ok else "VIOLATED"))
+        return "\n".join(lines)
+
+
+def _clone_requests(requests: list[GemmRequest]) -> list[GemmRequest]:
+    """Fresh request objects with copied operands (serve mutates C)."""
+    return [
+        GemmRequest(
+            req_id=r.req_id,
+            arrival_s=r.arrival_s,
+            shape=r.shape,
+            a=r.a.copy(),
+            b=r.b.copy(),
+            c=r.c.copy(),
+            klass=r.klass,
+            deadline_s=r.deadline_s,
+            priority=r.priority,
+        )
+        for r in requests
+    ]
+
+
+def chaos_serve(
+    requests: list[GemmRequest],
+    config=None,
+    *,
+    machine=None,
+    replay: bool = True,
+) -> ServeChaosReport:
+    """Run a request stream under faults and audit the contract itself.
+
+    The server already verifies-and-repairs; this harness does not trust
+    it.  It keeps pristine copies of every operand, serves clones, then
+    independently recomputes each completed response with a standalone
+    :func:`~repro.core.ftimm.ftimm_gemm` — a mismatch is a **silent
+    corruption** (the one outcome the whole fault lineage forbids).
+    Every non-completed request must carry a typed error reason, and
+    with ``replay=True`` the run is repeated from scratch and the two
+    latency tables compared bit-for-bit.
+
+    Compose any :class:`~repro.faults.plan.FaultPlan` via
+    ``config.faults`` (bit-flip / DMA rates under any timing mode; DDR
+    degradation windows and timed core faults need ``timing="des"``),
+    and any load mix via ``requests`` — the harness is policy-agnostic.
+    """
+    from ..core.ftimm import ftimm_gemm
+    from .server import ServeConfig, serve
+
+    config = config or ServeConfig()
+    if not requests:
+        raise PlanError("empty request stream")
+    originals = {
+        r.req_id: (r.a.copy(), r.b.copy(), r.c.copy()) for r in requests
+    }
+
+    served = _clone_requests(requests)
+    report = serve(served, config, machine=machine)
+    by_id = {r.req_id: r for r in served}
+
+    silent: list[int] = []
+    untyped: list[int] = []
+    for rec in report.records:
+        if rec.status == COMPLETED:
+            a, b, c0 = originals[rec.req_id]
+            ref = c0.copy()
+            ftimm_gemm(
+                by_id[rec.req_id].shape.m,
+                by_id[rec.req_id].shape.n,
+                by_id[rec.req_id].shape.k,
+                a=a, b=b, c=ref, machine=machine, timing="none",
+            )
+            if not np.array_equal(ref, by_id[rec.req_id].c):
+                silent.append(rec.req_id)
+        elif not rec.error:
+            untyped.append(rec.req_id)
+
+    deterministic: bool | None = None
+    if replay:
+        second = serve(_clone_requests(requests), config, machine=machine)
+        deterministic = (
+            report.latency_table() == second.latency_table()
+        )
+
+    return ServeChaosReport(
+        report=report,
+        silent=sorted(silent),
+        untyped=sorted(untyped),
+        deterministic=deterministic,
+    )

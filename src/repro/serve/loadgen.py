@@ -49,6 +49,9 @@ class ShapeClass:
     weight: float = 1.0
     slo_s: float | None = None     # relative deadline; None = no SLO
     n_b_variants: int = 1          # distinct B contents ("models") served
+    #: explicit priority class ("interactive" / "bulk"); None lets the
+    #: degradation policy classify by the request's deadline budget
+    priority: str | None = None
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
@@ -225,6 +228,7 @@ def make_requests(
                 c=c,
                 klass=cls.name,
                 deadline_s=t + cls.slo_s if cls.slo_s is not None else None,
+                priority=cls.priority,
             )
         )
     return requests

@@ -47,6 +47,9 @@ class GemmRequest:
     c: np.ndarray
     klass: str = "gemm"
     deadline_s: float | None = None
+    #: explicit priority-class label ("interactive" / "bulk"); ``None``
+    #: lets the degradation policy classify by deadline budget
+    priority: str | None = None
 
     def __post_init__(self) -> None:
         if self.a.shape != (self.shape.m, self.shape.k):
@@ -77,6 +80,10 @@ class RequestRecord:
     cluster: int | None = None
     bit_exact: bool | None = None  # verified against standalone ftimm_gemm
     error: str | None = None
+    #: priority class the degradation policy assigned (None = no policy)
+    priority: str | None = None
+    #: typed shed reason: queue_full | class_shed | burn_shed
+    shed_reason: str | None = None
 
     @property
     def latency_s(self) -> float | None:

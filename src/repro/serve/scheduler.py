@@ -49,6 +49,7 @@ from ..errors import PlanError
 from ..hw.config import MachineConfig
 from ..obs import current
 from ..obs.trace import current_tracer, maybe_scope
+from .degrade import DegradeEvent, HealthPolicy
 
 POLICIES = ("fifo", "least_loaded", "edf")
 
@@ -86,6 +87,18 @@ class ClusterBackend:
 
 
 @dataclass
+class ClusterHealth:
+    """Breaker state for one backend (only with a health policy)."""
+
+    state: str = "healthy"         # healthy | quarantined | probing
+    consecutive_faults: int = 0
+    until_s: float = 0.0           # quarantine expiry (when quarantined)
+    cooldown_s: float = 0.0        # current (backed-off) cooldown
+    faults: int = 0
+    quarantines: int = 0
+
+
+@dataclass
 class WarmupReport:
     """What pre-tuning did before the stream started."""
 
@@ -116,6 +129,7 @@ class Scheduler:
         policy: str,
         cold_tune_s: float | None,
         machine: MachineConfig,
+        health: HealthPolicy | None = None,
     ) -> None:
         if policy not in POLICIES:
             raise PlanError(
@@ -130,25 +144,177 @@ class Scheduler:
         self._rr = 0
         self._warmed: set[WarmKey] = set()
         self._measured_tune_s: float | None = None
+        self.health_policy = health
+        self.health = (
+            [ClusterHealth() for _ in range(n_clusters)]
+            if health is not None else None
+        )
+        self.degrade_events: list[DegradeEvent] = []
 
     # -- cluster selection -------------------------------------------------
 
-    def pick_backend(self) -> ClusterBackend:
+    def _eligible(self, now: float) -> list[ClusterBackend]:
+        """Backends a batch may be routed to at ``now``.
+
+        Quarantined backends are excluded until their cooldown expires
+        (the first post-expiry selection is the probe).  When *every*
+        backend is quarantined the full pool is returned — the server
+        must never deadlock on an all-sick cluster set, it just keeps
+        probing.
+        """
+        if self.health is None:
+            return self.backends
+        ok = [
+            b for b in self.backends
+            if self.health[b.idx].state != "quarantined"
+            or self.health[b.idx].until_s <= now
+        ]
+        return ok or self.backends
+
+    def _note_selected(self, backend: ClusterBackend, now: float) -> None:
+        """Selecting a quarantine-expired backend turns it into a probe."""
+        if self.health is None:
+            return
+        h = self.health[backend.idx]
+        if h.state == "quarantined" and h.until_s <= now:
+            h.state = "probing"
+            self._health_event(backend.idx, now, "probe",
+                               f"cooldown {h.cooldown_s * 1e3:g} ms over")
+            m = current()
+            if m is not None:
+                m.counter("serve/degrade/probes").inc()
+
+    def pick_backend(self, now: float | None = None) -> ClusterBackend:
         """Eager binding for fifo (round-robin) / least_loaded (greedy)."""
+        pool = (
+            self.backends if (self.health is None or now is None)
+            else self._eligible(now)
+        )
         if self.policy == "fifo":
-            backend = self.backends[self._rr % len(self.backends)]
+            backend = pool[self._rr % len(pool)]
             self._rr += 1
-            return backend
-        # least_loaded: earliest-free backend, lowest index on ties
-        return min(self.backends, key=lambda b: (b.busy_until_s, b.idx))
+        else:
+            # least_loaded: earliest-free backend, lowest index on ties
+            backend = min(pool, key=lambda b: (b.busy_until_s, b.idx))
+        if now is not None:
+            self._note_selected(backend, now)
+        return backend
+
+    def route_retry(
+        self, now: float, exclude: set[int]
+    ) -> ClusterBackend:
+        """Health-aware re-route of a faulted attempt.
+
+        Prefers eligible backends the batch has not already faulted on
+        (``exclude``); falls back to the eligible pool, then the full
+        pool — a retry always gets *somewhere* to run.
+        """
+        eligible = self._eligible(now)
+        pool = [b for b in eligible if b.idx not in exclude] or eligible
+        backend = min(pool, key=lambda b: (b.busy_until_s, b.idx))
+        self._note_selected(backend, now)
+        return backend
 
     def idle_backend(self, now: float) -> ClusterBackend | None:
         """An idle backend at ``now`` (EDF pull), or None."""
-        free = [b for b in self.backends if b.busy_until_s <= now]
-        return min(free, key=lambda b: b.idx) if free else None
+        free = [
+            b for b in self._eligible(now) if b.busy_until_s <= now
+        ]
+        if not free:
+            return None
+        backend = min(free, key=lambda b: b.idx)
+        self._note_selected(backend, now)
+        return backend
 
     def next_free_s(self) -> float:
         return min(b.busy_until_s for b in self.backends)
+
+    def next_ready_s(self) -> float:
+        """Earliest time any backend is both free and routable.
+
+        Equals :meth:`next_free_s` without a health policy; with one, a
+        quarantined backend is not ready before its cooldown expires.
+        """
+        if self.health is None:
+            return self.next_free_s()
+        times = []
+        for b in self.backends:
+            t = b.busy_until_s
+            h = self.health[b.idx]
+            if h.state == "quarantined":
+                t = max(t, h.until_s)
+            times.append(t)
+        return min(times)
+
+    # -- cluster health ----------------------------------------------------
+
+    def _health_event(
+        self, cluster: int, at_s: float, kind: str, detail: str = ""
+    ) -> None:
+        self.degrade_events.append(
+            DegradeEvent(at_s=at_s, cluster=cluster, kind=kind,
+                         detail=detail)
+        )
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.instant(
+                f"{kind} cluster {cluster}",
+                at_s=at_s,
+                category="degrade",
+                track="scheduler",
+                pid=0,
+                args={"cluster": cluster, "kind": kind, "detail": detail},
+            )
+
+    def note_fault(
+        self, idx: int, now: float, error: str = ""
+    ) -> None:
+        """One faulted dispatch attempt was attributed to backend ``idx``."""
+        m = current()
+        if m is not None:
+            m.counter("serve/degrade/faults").inc()
+        if self.health is None:
+            return
+        pol = self.health_policy
+        h = self.health[idx]
+        h.faults += 1
+        h.consecutive_faults += 1
+        if (
+            h.state == "probing"
+            or h.consecutive_faults >= pol.fault_threshold
+        ):
+            probe_failed = h.state == "probing"
+            h.cooldown_s = (
+                pol.cooldown_s if h.cooldown_s <= 0.0
+                else min(h.cooldown_s * pol.backoff, pol.max_cooldown_s)
+            )
+            h.state = "quarantined"
+            h.until_s = now + h.cooldown_s
+            h.consecutive_faults = 0
+            h.quarantines += 1
+            detail = (
+                f"{'probe faulted' if probe_failed else error or 'faults'}"
+                f", cooldown {h.cooldown_s * 1e3:g} ms"
+            )
+            self._health_event(idx, now, "quarantine", detail)
+            if m is not None:
+                m.counter("serve/degrade/quarantines").inc()
+
+    def note_success(self, idx: int, now: float) -> None:
+        """A batch completed cleanly on backend ``idx``."""
+        if self.health is None:
+            return
+        h = self.health[idx]
+        if h.state == "probing":
+            h.state = "healthy"
+            h.cooldown_s = 0.0
+            h.consecutive_faults = 0
+            self._health_event(idx, now, "recover", "probe succeeded")
+            m = current()
+            if m is not None:
+                m.counter("serve/degrade/recoveries").inc()
+        else:
+            h.consecutive_faults = 0
 
     # -- warmup ------------------------------------------------------------
 

@@ -38,8 +38,9 @@ from ..errors import FaultError, OverloadError, PlanError
 from ..faults.plan import FaultPlan
 from ..hw.config import MachineConfig, default_machine
 from ..obs import current
-from ..obs.trace import current_tracer, maybe_scope
+from ..obs.trace import current_tracer, head_sample, maybe_scope
 from .batcher import Batch, ShapeBucketBatcher, bucket_key, bucket_label, dtype_tag
+from .degrade import DegradePolicy, DegradeReport, OnlineBurn
 from .request import (
     COMPLETED,
     FAILED,
@@ -104,6 +105,20 @@ class ServeConfig:
     faults: FaultPlan | None = None
     max_redispatch: int = 2
     n_clusters: int | None = None  # default: all the machine has
+    #: graceful degradation: priority classes, burn-driven shedding,
+    #: cluster quarantine.  None (default) keeps the loop bit-identical
+    #: to the policy-free baseline.
+    degrade: DegradePolicy | None = None
+    #: per-cluster multiplier on the fault plan's bitflip/DMA rates —
+    #: models one sick cluster in an otherwise healthy pool.  When set,
+    #: fault attempts are seeded per cluster too (so moving a batch off
+    #: a sick cluster actually changes its fate); length must equal the
+    #: number of clusters.
+    cluster_fault_scale: tuple[float, ...] | None = None
+    #: deterministic head-based trace sampling rate for per-request
+    #: spans (1.0 = keep everything).  Shed, failed and SLO-violating
+    #: requests are always retained; only clean completions are sampled.
+    trace_sample: float = 1.0
 
     def __post_init__(self) -> None:
         if self.queue_cap < 1:
@@ -115,6 +130,11 @@ class ServeConfig:
                 f"warmup_tune must be 'rule' or 'search', "
                 f"got {self.warmup_tune!r}"
             )
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise PlanError("trace_sample must be in [0, 1]")
+        if self.cluster_fault_scale is not None:
+            if any(s < 0 for s in self.cluster_fault_scale):
+                raise PlanError("cluster_fault_scale entries must be >= 0")
 
 
 @dataclass
@@ -131,6 +151,8 @@ class ServeReport:
     #: verification bookkeeping (None counts when verify was off)
     verify_repaired: int = 0
     redispatches: int = 0
+    #: degradation outcome (None when no degrade policy was configured)
+    degrade: DegradeReport | None = None
 
     # -- aggregates --------------------------------------------------------
 
@@ -249,6 +271,8 @@ class ServeReport:
             f"re-dispatches {self.redispatches}, "
             f"warmed buckets {self.warmup.n_buckets}",
         ]
+        if self.degrade is not None:
+            parts.append(self.degrade.describe())
         return "\n".join(parts)
 
 
@@ -266,6 +290,11 @@ class _Execution:
     error: str | None = None
     result: GroupedGemmResult | None = None
     attempt_errors: list[str] = field(default_factory=list)
+    #: the backend the final attempt ran on (health-aware re-routing may
+    #: move a batch off the cluster it was first bound to); None for EDF
+    backend: object | None = None
+    #: clusters whose attempt faulted (feeds quarantine + re-routing)
+    failed_on: list[int] = field(default_factory=list)
 
     @property
     def span_s(self) -> float:
@@ -289,12 +318,33 @@ class _ServeLoop:
             max_wait_s=config.max_wait_s,
             by_digest=config.by_digest,
         )
+        n_clusters = config.n_clusters or machine.n_clusters
+        if (
+            config.cluster_fault_scale is not None
+            and len(config.cluster_fault_scale) != n_clusters
+        ):
+            raise PlanError(
+                f"cluster_fault_scale has {len(config.cluster_fault_scale)} "
+                f"entries for {n_clusters} clusters"
+            )
         self.sched = Scheduler(
-            n_clusters=config.n_clusters or machine.n_clusters,
+            n_clusters=n_clusters,
             policy=config.policy,
             cold_tune_s=config.cold_tune_s,
             machine=machine,
+            health=(config.degrade.health
+                    if config.degrade is not None else None),
         )
+        #: online burn estimator feeding proactive shedding (degrade only)
+        self.burn: OnlineBurn | None = None
+        if config.degrade is not None:
+            self.burn = OnlineBurn(
+                objective=config.degrade.burn_objective,
+                window_s=config.degrade.burn_window_s,
+                min_events=config.degrade.burn_min_events,
+            )
+        self.shed_reasons: dict[str, int] = {}
+        self.shed_by_class: dict[str, int] = {}
         self.records: dict[int, RequestRecord] = {}
         self.batch_records: list[BatchRecord] = []
         self.pending = 0               # admitted, not yet started
@@ -338,9 +388,10 @@ class _ServeLoop:
         )
         for batch in self.batcher.drain(t_end):
             self._on_close(batch, t_end)
-        # EDF queue drains against future frees
+        # EDF queue drains against future frees (a quarantined backend is
+        # not "free" until its cooldown expires — next_ready_s covers it)
         while self._ready:
-            now = max(t_end, self.sched.next_free_s())
+            now = max(t_end, self.sched.next_ready_s())
             self._edf_pull(now)
 
     # -- handlers ----------------------------------------------------------
@@ -349,31 +400,27 @@ class _ServeLoop:
         m = current()
         if m is not None:
             m.counter("serve/requests/offered").inc()
+        pol = self.config.degrade
+        pcls = pol.classify(req) if pol is not None else None
+        reason = None
         if self.pending >= self.config.queue_cap:
-            err = OverloadError(req.req_id, self.config.queue_cap)
-            self.records[req.req_id] = RequestRecord(
-                req_id=req.req_id,
-                klass=req.klass,
-                shape=str(req.shape),
-                arrival_s=req.arrival_s,
-                status=SHED,
-                deadline_s=req.deadline_s,
-                deadline_met=False if req.deadline_s is not None else None,
-                error=str(err),
-            )
-            if m is not None:
-                m.counter("serve/requests/shed").inc()
-            tracer = current_tracer()
-            if tracer is not None:
-                tracer.instant(
-                    f"shed req {req.req_id}",
-                    at_s=now,
-                    category="admission",
-                    track="admission",
-                    pid=0,
-                    args={"req_id": req.req_id, "klass": req.klass,
-                          "queue_cap": self.config.queue_cap},
-                )
+            reason = "queue_full"
+        elif pcls is not None:
+            # proactive, class-aware admission: loose classes lose their
+            # queue headroom first, then their burn budget
+            if (
+                pcls.admit_above < 1.0
+                and self.pending >= pcls.admit_above * self.config.queue_cap
+            ):
+                reason = "class_shed"
+            elif (
+                pcls.burn_shed
+                and self.burn is not None
+                and self.burn.burn_at(now) >= pol.burn_threshold
+            ):
+                reason = "burn_shed"
+        if reason is not None:
+            self._shed(req, now, reason, pcls)
             return
         self.pending += 1
         self._gauge_queue()
@@ -390,9 +437,60 @@ class _ServeLoop:
             if due is not None and due == req.arrival_s + self.batcher.max_wait_s:
                 self._push(due, "timeout", key)
 
+    def _shed(
+        self,
+        req: GemmRequest,
+        now: float,
+        reason: str,
+        pcls,
+    ) -> None:
+        m = current()
+        err = OverloadError(req.req_id, self.config.queue_cap, reason=reason)
+        self.records[req.req_id] = RequestRecord(
+            req_id=req.req_id,
+            klass=req.klass,
+            shape=str(req.shape),
+            arrival_s=req.arrival_s,
+            status=SHED,
+            deadline_s=req.deadline_s,
+            deadline_met=False if req.deadline_s is not None else None,
+            error=str(err),
+            priority=pcls.name if pcls is not None else None,
+            shed_reason=reason,
+        )
+        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+        if pcls is not None:
+            self.shed_by_class[pcls.name] = (
+                self.shed_by_class.get(pcls.name, 0) + 1
+            )
+        if self.burn is not None and reason == "queue_full":
+            # a reactive drop is genuine badness; deliberate class/burn
+            # sheds are excluded or the monitor would latch itself on
+            self.burn.add(now, True)
+        if m is not None:
+            m.counter("serve/requests/shed").inc()
+            if reason == "class_shed":
+                m.counter("serve/degrade/shed_class").inc()
+            elif reason == "burn_shed":
+                m.counter("serve/degrade/shed_burn").inc()
+        tracer = current_tracer()
+        if tracer is not None:
+            args = {"req_id": req.req_id, "klass": req.klass,
+                    "queue_cap": self.config.queue_cap, "reason": reason}
+            if pcls is not None:
+                args["priority"] = pcls.name
+            tracer.instant(
+                f"shed req {req.req_id}",
+                at_s=now,
+                category="admission",
+                track="admission",
+                pid=0,
+                args=args,
+            )
+
     def _on_close(self, batch: Batch, now: float) -> None:
-        execution = self._execute(batch)
         if self.config.policy == "edf":
+            execution = self._execute(batch, now, None)
             deadline = batch.deadline_s
             heapq.heappush(self._ready, (
                 deadline if deadline is not None else float("inf"),
@@ -400,7 +498,12 @@ class _ServeLoop:
             ))
             self._edf_pull(now)
             return
-        backend = self.sched.pick_backend()
+        # eager policies bind the backend first so fault attempts can be
+        # attributed to (and re-routed off) a concrete cluster
+        backend = self.sched.pick_backend(now)
+        execution = self._execute(batch, now, backend)
+        if execution.backend is not None:
+            backend = execution.backend
         start = max(now, backend.busy_until_s)
         if start > now:
             self._push(start, "start", batch.n_items)
@@ -421,15 +524,33 @@ class _ServeLoop:
 
     # -- execution ---------------------------------------------------------
 
-    def _execute(self, batch: Batch) -> _Execution:
+    def _execute(
+        self,
+        batch: Batch,
+        now: float,
+        backend,
+    ) -> _Execution:
         """Run the batch functionally + under the cost model.
 
         Results do not depend on *when* the batch runs, so execution
         happens at close time; only the accounting is placed on the
-        simulated timeline by :meth:`_finalize`.
+        simulated timeline by :meth:`_finalize`.  ``backend`` is the
+        cluster the batch is bound to (None for EDF, which binds at pull
+        time): fault attempts are attributed to it, and with a health
+        policy a faulted attempt re-routes to another eligible cluster.
+        For EDF an attribution-only route is chosen here when faults
+        need a cluster identity (scaling/health); the time accounting
+        still lands on whichever backend pulls the batch — a documented
+        simplification.
         """
         cfg = self.config
         m = current()
+        route = backend
+        if route is None and (
+            cfg.cluster_fault_scale is not None
+            or self.sched.health is not None
+        ):
+            route = self.sched.route_retry(now, set())
         n, k, dtype, _b = batch.key
         tune_s = self.sched.tune_penalty((n, k, dtype))
         a_blocks = [r.a for r in batch.requests]
@@ -449,15 +570,28 @@ class _ServeLoop:
         redispatches = 0
         attempt = 0
         attempt_errors: list[str] = []
+        failed_on: list[int] = []
         while True:
             faults = None
             if cfg.faults is not None:
-                faults = dc_replace(
-                    cfg.faults,
-                    seed=cfg.faults.seed
-                    + 1_000 * attempt
-                    + 7 * batch.batch_id,
+                seed = (
+                    cfg.faults.seed + 1_000 * attempt + 7 * batch.batch_id
                 )
+                overrides: dict[str, object] = {}
+                if cfg.cluster_fault_scale is not None and route is not None:
+                    # per-cluster fault attribution: rates scale with the
+                    # cluster's sickness and the seed depends on *which*
+                    # cluster runs the attempt, so re-routing a batch off
+                    # a sick cluster genuinely changes its fate
+                    scale = cfg.cluster_fault_scale[route.idx]
+                    seed += 13_001 * route.idx
+                    overrides["bitflip_rate"] = min(
+                        1.0, cfg.faults.bitflip_rate * scale
+                    )
+                    overrides["dma_fail_rate"] = min(
+                        1.0, cfg.faults.dma_fail_rate * scale
+                    )
+                faults = dc_replace(cfg.faults, seed=seed, **overrides)
             try:
                 result = grouped_gemm(
                     a_blocks, b, c_blocks,
@@ -477,6 +611,13 @@ class _ServeLoop:
                 attempt_errors.append(f"{type(exc).__name__}: {exc}")
                 if m is not None:
                     m.counter("serve/redispatches").inc()
+                if route is not None:
+                    failed_on.append(route.idx)
+                    self.sched.note_fault(
+                        route.idx, now, f"{type(exc).__name__}: {exc}"
+                    )
+                    if self.sched.health is not None:
+                        route = self.sched.route_retry(now, set(failed_on))
                 if attempt > cfg.max_redispatch:
                     return _Execution(
                         ok=False,
@@ -486,6 +627,8 @@ class _ServeLoop:
                         redispatches=redispatches,
                         error=f"{type(exc).__name__}: {exc}",
                         attempt_errors=attempt_errors,
+                        backend=route if backend is not None else None,
+                        failed_on=failed_on,
                     )
 
         repaired = 0
@@ -523,6 +666,8 @@ class _ServeLoop:
             repaired=repaired,
             result=result,
             attempt_errors=attempt_errors,
+            backend=route if backend is not None else None,
+            failed_on=failed_on,
         )
 
     def _finalize(
@@ -537,6 +682,8 @@ class _ServeLoop:
         if self.config.policy == "edf":
             # a pull opportunity the moment this backend frees up
             self._push(finish, "free", None)
+        if execution.ok:
+            self.sched.note_success(backend.idx, finish)
         self.last_finish_s = max(self.last_finish_s, finish)
         self.verify_repaired += execution.repaired
         self.redispatches += execution.redispatches
@@ -566,6 +713,14 @@ class _ServeLoop:
             if req.deadline_s is not None:
                 met = execution.ok and finish <= req.deadline_s
             status = COMPLETED if execution.ok else FAILED
+            pcls = (
+                self.config.degrade.classify(req)
+                if self.config.degrade is not None else None
+            )
+            if self.burn is not None:
+                # outcome feeds the online burn estimate at its finish
+                # time — causal for every later admission decision
+                self.burn.add(finish, (not execution.ok) or met is False)
             self.records[req.req_id] = RequestRecord(
                 req_id=req.req_id,
                 klass=req.klass,
@@ -584,6 +739,7 @@ class _ServeLoop:
                 bit_exact=(True if (execution.ok and self.config.verify)
                            else None),
                 error=execution.error,
+                priority=pcls.name if pcls is not None else None,
             )
             if m is not None:
                 m.counter(f"serve/requests/{status}").inc()
@@ -685,6 +841,19 @@ class _ServeLoop:
                     )
             t += dur
         for req in batch.requests:
+            met = None
+            if req.deadline_s is not None:
+                met = execution.ok and finish_s <= req.deadline_s
+            # head-based sampling: failures and SLO misses are always
+            # traced; only clean completions are down-sampled (and the
+            # keep/drop decision is a pure hash of req_id, so a sampled
+            # trace replays identically)
+            if (
+                execution.ok
+                and met is not False
+                and not head_sample(req.req_id, self.config.trace_sample)
+            ):
+                continue
             lane = None
             for i, end in enumerate(self._lanes):
                 if end <= req.arrival_s:
@@ -780,6 +949,25 @@ def serve(
         raise PlanError("a request was dropped silently")
     last_arrival = max(r.arrival_s for r in ordered)
     makespan = max(loop.last_finish_s, last_arrival)
+    degrade_report = None
+    if config.degrade is not None:
+        health = loop.sched.health or []
+        events = loop.sched.degrade_events
+        degrade_report = DegradeReport(
+            shed_queue_full=loop.shed_reasons.get("queue_full", 0),
+            shed_class=loop.shed_reasons.get("class_shed", 0),
+            shed_burn=loop.shed_reasons.get("burn_shed", 0),
+            peak_burn=loop.burn.peak if loop.burn is not None else 0.0,
+            burn_threshold=config.degrade.burn_threshold,
+            faults=sum(h.faults for h in health),
+            quarantines=sum(h.quarantines for h in health),
+            probes=sum(1 for e in events if e.kind == "probe"),
+            recoveries=sum(1 for e in events if e.kind == "recover"),
+            shed_by_class=dict(loop.shed_by_class),
+            # faults are noted at batch close, successes at finish, so
+            # the raw append order is not the timeline order
+            events=sorted(events, key=lambda e: e.at_s),
+        )
     return ServeReport(
         policy=config.policy,
         config=config,
@@ -790,4 +978,5 @@ def serve(
         offered_rps=len(ordered) / last_arrival if last_arrival > 0 else 0.0,
         verify_repaired=loop.verify_repaired,
         redispatches=loop.redispatches,
+        degrade=degrade_report,
     )

@@ -198,6 +198,50 @@ class TestPlanDB:
         assert len(fresh) == 0
         assert db.path.with_name(db.path.name + ".bad").exists()
 
+    def test_lru_eviction_over_cap(self, cluster, tmp_path):
+        sig_a, rec = self._record(cluster)
+        sig_b = ShapeClass.of(GemmShape(4096, 32, 512), cluster)
+        sig_c = ShapeClass.of(GemmShape(1024, 16, 1024), cluster)
+        db = PlanDB(tmp_path, max_entries=2)
+        with collecting() as reg:
+            db.put(sig_a, rec)
+            db.put(sig_b, rec)
+            db.get(sig_a)            # refresh A: B becomes the LRU
+            db.put(sig_c, rec)
+        assert len(db) == 2
+        assert db.get(sig_b) is None
+        assert db.get(sig_a) is not None
+        assert db.get(sig_c) is not None
+        assert reg.snapshot()["tuner/plandb/evicted"]["value"] == 1
+        # recency (and the eviction) survive the disk round-trip
+        fresh = PlanDB(tmp_path, max_entries=2)
+        assert len(fresh) == 2
+        assert fresh.get(sig_b) is None
+
+    def test_cap_must_be_positive(self, tmp_path):
+        with pytest.raises(PlanError):
+            PlanDB(tmp_path, max_entries=0)
+
+    def test_generator_bump_invalidates_stale_entries(
+        self, cluster, tmp_path
+    ):
+        sig, rec = self._record(cluster)
+        other = ShapeClass.of(GemmShape(4096, 32, 512), cluster)
+        db = PlanDB(tmp_path)
+        db.put(sig, rec)
+        db.put(other, rec)
+        blob = json.loads(db.path.read_text())
+        blob[sig.key()]["gen"] = 999   # tuned under another generator
+        db.path.write_text(json.dumps(blob))
+        with collecting() as reg:
+            fresh = PlanDB(tmp_path)
+            # only the stale entry is dropped; the file is not quarantined
+            assert len(fresh) == 1
+        assert fresh.get(sig) is None
+        assert fresh.get(other) is not None
+        assert reg.snapshot()["tuner/plandb/invalidated"]["value"] == 1
+        assert not db.path.with_name(db.path.name + ".bad").exists()
+
     def test_default_db_honors_cache_env(self, monkeypatch, tmp_path):
         import repro.core.plan_search as ps
 
