@@ -70,8 +70,10 @@ from .errors import (
     AllocationError,
     CapacityError,
     ConfigError,
+    FaultError,
     IsaError,
     KernelError,
+    OverloadError,
     PlanError,
     ReproError,
     ScheduleError,
@@ -96,6 +98,7 @@ __all__ = [
     "multi_cluster_gemm",
     "CapacityError",
     "ConfigError",
+    "FaultError",
     "GemmResult",
     "GemmShape",
     "IsaError",
@@ -104,6 +107,7 @@ __all__ = [
     "MachineConfig",
     "MetricsRegistry",
     "MicroKernel",
+    "OverloadError",
     "PlanError",
     "ProfileScope",
     "collecting",

@@ -9,9 +9,11 @@ from .bottleneck import (
 )
 from .critical_path import (
     SEGMENTS,
+    CriticalPathDiff,
     CriticalPathReport,
     RequestPath,
     critical_path,
+    diff_critical_paths,
     from_spans,
 )
 from .metrics import efficiency, gflops, percent, speedup
@@ -20,6 +22,7 @@ from .tables import Claim, ExperimentResult, Series, format_table
 __all__ = [
     "BottleneckReport",
     "Claim",
+    "CriticalPathDiff",
     "CriticalPathReport",
     "EpochAttribution",
     "ExperimentResult",
@@ -29,6 +32,7 @@ __all__ = [
     "Series",
     "attribute",
     "critical_path",
+    "diff_critical_paths",
     "diff_records",
     "efficiency",
     "format_table",

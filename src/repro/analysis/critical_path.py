@@ -216,6 +216,144 @@ def _tail(paths: list[RequestPath], quantile: float) -> list[RequestPath]:
     return [p for p in paths if p.latency_s >= cut]
 
 
+def _mean_segments(tail: list[RequestPath]) -> dict[str, float]:
+    if not tail:
+        return {s: 0.0 for s in SEGMENTS}
+    return {
+        s: sum(p.segments.get(s, 0.0) for p in tail) / len(tail)
+        for s in SEGMENTS
+    }
+
+
+@dataclass
+class CriticalPathDiff:
+    """Two runs' tail decompositions, segment by segment.
+
+    The cross-run counterpart of :meth:`CriticalPathReport.render`: for
+    each requested quantile, the mean per-segment seconds across run A's
+    and run B's latency tails, and their delta (B minus A) — so a
+    scheduler change reads as "batch-wait p99 shrank, gemm unchanged"
+    instead of two opaque latency numbers.
+    """
+
+    quantiles: tuple[float, ...]
+    n_requests: tuple[int, int]
+    #: per quantile: {segment: mean tail seconds} for each run
+    tails_a: dict[float, dict[str, float]]
+    tails_b: dict[float, dict[str, float]]
+    tail_latency_a: dict[float, float]
+    tail_latency_b: dict[float, float]
+
+    def delta(self, quantile: float) -> dict[str, float]:
+        """Per-segment B - A at ``quantile`` (negative = B got faster)."""
+        a, b = self.tails_a[quantile], self.tails_b[quantile]
+        return {s: b[s] - a[s] for s in SEGMENTS}
+
+    @property
+    def dominant_shift(self) -> str:
+        """The segment whose tail changed most at the highest quantile."""
+        d = self.delta(max(self.quantiles))
+        return max(SEGMENTS, key=lambda s: (abs(d[s]), -SEGMENTS.index(s)))
+
+    def verdict(self) -> str:
+        q = max(self.quantiles)
+        seg = self.dominant_shift
+        d = self.delta(q)[seg]
+        if d == 0.0:
+            return f"p{int(q * 100)} tail unchanged"
+        direction = "grew" if d > 0 else "shrank"
+        return (
+            f"{seg} p{int(q * 100)} {direction} by {abs(d) * 1e3:.4f} ms "
+            f"(A {self.tails_a[q][seg] * 1e3:.4f} -> "
+            f"B {self.tails_b[q][seg] * 1e3:.4f})"
+        )
+
+    def render(self) -> str:
+        headers = ["segment"]
+        for q in self.quantiles:
+            p = f"p{int(q * 100)}"
+            headers += [f"A {p} (ms)", f"B {p} (ms)", f"d{p} (ms)"]
+        rows = []
+        for s in SEGMENTS:
+            row = [s]
+            for q in self.quantiles:
+                a = self.tails_a[q][s]
+                b = self.tails_b[q][s]
+                row += [
+                    f"{a * 1e3:.4f}", f"{b * 1e3:.4f}",
+                    f"{(b - a) * 1e3:+.4f}",
+                ]
+            rows.append(row)
+        head = (
+            f"critical-path diff: A={self.n_requests[0]} vs "
+            f"B={self.n_requests[1]} completed requests; tail latency "
+            + ", ".join(
+                f"p{int(q * 100)} {self.tail_latency_a[q] * 1e3:.4f} -> "
+                f"{self.tail_latency_b[q] * 1e3:.4f} ms"
+                for q in self.quantiles
+            )
+        )
+        return "\n".join([head, format_table(headers, rows),
+                          f"verdict: {self.verdict()}"])
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "quantiles": list(self.quantiles),
+            "n_requests": list(self.n_requests),
+            "tails_a": {str(q): self.tails_a[q] for q in self.quantiles},
+            "tails_b": {str(q): self.tails_b[q] for q in self.quantiles},
+            "tail_latency_a": {
+                str(q): self.tail_latency_a[q] for q in self.quantiles
+            },
+            "tail_latency_b": {
+                str(q): self.tail_latency_b[q] for q in self.quantiles
+            },
+            "deltas": {
+                str(q): self.delta(q) for q in self.quantiles
+            },
+            "dominant_shift": self.dominant_shift,
+            "verdict": self.verdict(),
+        }
+
+
+def diff_critical_paths(
+    a: CriticalPathReport,
+    b: CriticalPathReport,
+    *,
+    quantiles: tuple[float, ...] = (0.50, 0.99),
+) -> CriticalPathDiff:
+    """Diff two runs' critical-path tail decompositions.
+
+    Tails are recomputed from each report's paths at every requested
+    quantile (the reports' own construction quantile is irrelevant), so
+    one report diffs at p50 and p99 in a single call.
+    """
+    if not quantiles:
+        raise InputError("need at least one quantile to diff at")
+    for q in quantiles:
+        if not 0.0 < q <= 1.0:
+            raise InputError(f"quantile {q} outside (0, 1]")
+    quantiles = tuple(sorted(quantiles))
+    tails_a: dict[float, dict[str, float]] = {}
+    tails_b: dict[float, dict[str, float]] = {}
+    lat_a: dict[float, float] = {}
+    lat_b: dict[float, float] = {}
+    for q in quantiles:
+        ta, tb = _tail(a.paths, q), _tail(b.paths, q)
+        tails_a[q] = _mean_segments(ta)
+        tails_b[q] = _mean_segments(tb)
+        lat_a[q] = min((p.latency_s for p in ta), default=0.0)
+        lat_b[q] = min((p.latency_s for p in tb), default=0.0)
+    return CriticalPathDiff(
+        quantiles=quantiles,
+        n_requests=(a.n_requests, b.n_requests),
+        tails_a=tails_a,
+        tails_b=tails_b,
+        tail_latency_a=lat_a,
+        tail_latency_b=lat_b,
+    )
+
+
 def from_spans(spans: list[Any], *, quantile: float = 0.99) -> CriticalPathReport:
     """Reconstruct the decomposition from a trace's span sidecar.
 

@@ -40,7 +40,12 @@ from .kernels.generator import MicroKernel
 from .kernels.registry import registry_for
 from .kernels.spec import KernelSpec
 from .parallel import WorkerPool, worker_pool
-from .analysis import CriticalPathReport, critical_path
+from .analysis import (
+    CriticalPathDiff,
+    CriticalPathReport,
+    critical_path,
+    diff_critical_paths,
+)
 from .obs import (
     Histogram,
     MetricsRegistry,
@@ -53,16 +58,19 @@ from .obs import (
 from .serve import (
     DegradePolicy,
     DegradeReport,
+    Gateway,
     GemmRequest,
     HealthPolicy,
     PriorityClass,
     ServeChaosReport,
     ServeConfig,
+    ServeEngine,
     ServeReport,
     SloPolicy,
     SloReport,
     SweepResult,
     chaos_serve,
+    gateway_replay,
     make_requests,
     monitor,
     serve,
@@ -88,8 +96,10 @@ __all__ = [
     "BatchedGemmResult",
     "ChaosSummary",
     "CoreFault",
+    "CriticalPathDiff",
     "CriticalPathReport",
     "critical_path",
+    "diff_critical_paths",
     "DegradationWindow",
     "DegradePolicy",
     "DegradeReport",
@@ -105,6 +115,8 @@ __all__ = [
     "grouped_gemm",
     "HeteroResult",
     "hetero_gemm",
+    "Gateway",
+    "gateway_replay",
     "GemmRequest",
     "GemmResult",
     "GemmShape",
@@ -113,6 +125,7 @@ __all__ = [
     "PlanDB",
     "SearchStats",
     "ServeConfig",
+    "ServeEngine",
     "ServeReport",
     "SloPolicy",
     "SloReport",

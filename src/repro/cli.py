@@ -373,6 +373,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         DegradePolicy,
         ServeConfig,
         chaos_serve,
+        gateway_replay,
         make_requests,
         monitor,
         serve,
@@ -392,6 +393,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             raise ReproError(
                 f"bad --cold-tune {args.cold_tune!r} (float or 'auto')"
             ) from None
+    stack_hints: bool | str = not args.no_stack_hints
+    if args.observed_hints:
+        stack_hints = "observed"
     config = ServeConfig(
         policy=args.policy,
         max_batch=args.max_batch,
@@ -400,12 +404,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         by_digest=not args.no_digest,
         warmup=not args.no_warmup,
         warmup_tune=args.warm_tune,
-        stack_hints=not args.no_stack_hints,
+        stack_hints=stack_hints,
         cold_tune_s=cold_tune_s,
         degrade=(DegradePolicy()
                  if (args.degrade or args.chaos) else None),
         trace_sample=args.trace_sample,
     )
+
+    if args.gateway:
+        # live-path demo driver: push the highest offered load through
+        # the asyncio gateway and hold it to the replay bit-identity
+        # contract right here
+        requests = make_requests(
+            args.mix, rate_rps=loads[-1], n_requests=args.n,
+            seed=args.seed, arrivals=args.arrivals,
+        )
+        replayed = make_requests(
+            args.mix, rate_rps=loads[-1], n_requests=args.n,
+            seed=args.seed, arrivals=args.arrivals,
+        )
+        with collecting() as reg:
+            live = gateway_replay(requests, config)
+        replay = serve(replayed, config)
+        identical = live.records == replay.records
+        print(f"gateway [{args.policy}] at {loads[-1]:.0f} rps offered:")
+        print(live.describe())
+        print()
+        gw_counts = {
+            name[len("serve/gateway/"):]: v["value"]
+            for name, v in reg.snapshot().items()
+            if name.startswith("serve/gateway/")
+        }
+        if gw_counts:
+            print("gateway counters: " + "  ".join(
+                f"{k}={v:g}" for k, v in sorted(gw_counts.items())
+            ))
+        print("records bit-identical to pre-drawn replay: "
+              f"{'yes' if identical else 'NO — contract violation'}")
+        return 0 if identical else 1
 
     if args.chaos:
         # serve-level chaos: one sick cluster under aggressive bit-flips
@@ -521,36 +557,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
+def _load_critical_path(path, quantile: float):
+    """One trace input -> (CriticalPathReport, human description).
+
+    ``.json`` is an exported Chrome trace (validated, reconstructed from
+    the span sidecar); anything else is a JSONL run-log whose most recent
+    serve record carries the per-request/per-batch rows.
+    """
     import json
-    from collections import Counter
     from pathlib import Path
 
     from .analysis.critical_path import critical_path, from_spans
     from .obs import load_spans, read_records, validate_chrome_trace
-    from .serve import SLO_SCHEMA, BatchRecord, RequestRecord, monitor
+    from .serve import BatchRecord, RequestRecord
 
-    path = Path(args.path)
+    path = Path(path)
     if not path.exists():
         raise ReproError(f"no such file: {path}")
-
     if path.suffix == ".json":
-        # Chrome trace exported by --trace: validate, then reconstruct
         trace = json.loads(path.read_text())
         validate_chrome_trace(trace)
         spans = load_spans(path)
-        print(f"{path}: {len(trace['traceEvents'])} events / "
-              f"{len(spans)} spans — valid Chrome trace "
-              "(load in https://ui.perfetto.dev)")
-        census = Counter(s.category for s in spans)
-        print("spans by category: " + "  ".join(
-            f"{cat}={n}" for cat, n in sorted(census.items())
-        ))
-        print()
-        print(from_spans(spans, quantile=args.quantile).render())
-        return 0
-
-    # JSONL run-log: analyze the most recent serve record
+        desc = (f"{path}: {len(trace['traceEvents'])} events / "
+                f"{len(spans)} spans — valid Chrome trace "
+                "(load in https://ui.perfetto.dev)")
+        return from_spans(spans, quantile=quantile), desc, spans
     records = read_records(path, skip_invalid=True)
     serve_recs = [r for r in records
                   if r.get("impl") == "serve" and r.get("serve")]
@@ -562,12 +593,49 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     payload = serve_recs[-1]["serve"]
     reqs = [RequestRecord(**d) for d in payload["requests"]]
     batches = [BatchRecord(**d) for d in payload["batches"]]
-    print(f"{path}: serve record {len(serve_recs)} of {len(records)} "
-          f"run-log rows ({len(reqs)} requests, {len(batches)} batches)")
+    desc = (f"{path}: serve record {len(serve_recs)} of {len(records)} "
+            f"run-log rows ({len(reqs)} requests, {len(batches)} batches)")
+    return critical_path(reqs, batches, quantile=quantile), desc, reqs
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from collections import Counter
+    from pathlib import Path
+
+    from .analysis.critical_path import diff_critical_paths
+    from .obs import read_records
+    from .serve import SLO_SCHEMA, monitor
+
+    if args.path_b is not None:
+        # cross-run diff: where did run B's tail move relative to run A's?
+        cp_a, desc_a, _ = _load_critical_path(args.path_a, args.quantile)
+        cp_b, desc_b, _ = _load_critical_path(args.path_b, args.quantile)
+        print(f"A: {desc_a}")
+        print(f"B: {desc_b}")
+        print()
+        diff = diff_critical_paths(
+            cp_a, cp_b, quantiles=(0.50, args.quantile)
+        )
+        print(diff.render())
+        return 0
+    if args.compare:
+        raise ReproError("--compare needs two inputs: repro trace A B")
+
+    path = Path(args.path_a)
+    cp, desc, extra = _load_critical_path(path, args.quantile)
+    print(desc)
+    if path.suffix == ".json":
+        census = Counter(s.category for s in extra)
+        print("spans by category: " + "  ".join(
+            f"{cat}={n}" for cat, n in sorted(census.items())
+        ))
+        print()
+        print(cp.render())
+        return 0
     print()
-    print(critical_path(reqs, batches, quantile=args.quantile).render())
+    print(cp.render())
     print()
-    print(monitor(reqs).render())
+    print(monitor(extra).render())
     alerts = read_records(path, SLO_SCHEMA)
     if alerts:
         print(f"(run-log already holds {len(alerts)} SLO alert record(s))")
@@ -776,6 +844,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-stack-hints", action="store_true",
                          help="warm each bucket at its first request's M "
                               "instead of the expected stacked M")
+    p_serve.add_argument("--observed-hints", action="store_true",
+                         help="seed warmup from the stack heights a "
+                              "previous run persisted beside the plan DB "
+                              "(and persist this run's for the next)")
+    p_serve.add_argument("--gateway", action="store_true",
+                         help="drive the highest offered load through the "
+                              "live asyncio gateway instead of the sweep "
+                              "and audit bit-identity against the "
+                              "pre-drawn replay (non-zero exit on "
+                              "violation)")
     p_serve.add_argument("--cold-tune", default="5e-4", metavar="S",
                          help="un-warmed bucket penalty in seconds, or "
                               "'auto' to re-cost from measured warmup "
@@ -811,10 +889,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace = sub.add_parser(
         "trace",
         help="analyze a serve run: critical path + SLO from a run-log, "
-             "or validate and analyze an exported Chrome trace",
+             "or validate and analyze an exported Chrome trace; give two "
+             "inputs to diff their tail decompositions",
     )
-    p_trace.add_argument("path", metavar="runs.jsonl|trace.json",
+    p_trace.add_argument("path_a", metavar="runs.jsonl|trace.json",
                          help=".jsonl run-log or .json Chrome trace")
+    p_trace.add_argument("path_b", metavar="B", nargs="?", default=None,
+                         help="second run to diff against (same formats); "
+                              "prints per-segment p50/p99 tail deltas")
+    p_trace.add_argument("--compare", action="store_true",
+                         help="explicit alias for the two-input diff mode "
+                              "(errors without a second input)")
     p_trace.add_argument("--quantile", type=float, default=0.99,
                          help="tail quantile to attribute (default 0.99)")
     p_trace.set_defaults(fn=_cmd_trace)

@@ -108,13 +108,16 @@ class OverloadError(ReproError):
       is dropped before tight-SLO interactive);
     * ``burn_shed``  — the online SLO burn-rate estimate crossed the
       degradation policy's threshold, so low-priority work is shed
-      *before* the error budget is gone.
+      *before* the error budget is gone;
+    * ``shutdown``   — the gateway was closed without draining while the
+      request was still in flight (the awaited future resolves with this
+      error instead of being cancelled silently).
 
     Shedding is always *loud* — a shed request gets a response carrying
     this error and is counted, never dropped silently.
     """
 
-    REASONS = ("queue_full", "class_shed", "burn_shed")
+    REASONS = ("queue_full", "class_shed", "burn_shed", "shutdown")
 
     def __init__(
         self, req_id: int, capacity: int, reason: str = "queue_full"
@@ -127,6 +130,7 @@ class OverloadError(ReproError):
                           f"(capacity {capacity})",
             "burn_shed": "SLO burn-rate protection "
                          f"(capacity {capacity})",
+            "shutdown": "gateway closed before the request resolved",
         }[reason]
         super().__init__(f"request {req_id} shed: {detail}")
         self.req_id = req_id

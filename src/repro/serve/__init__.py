@@ -22,9 +22,15 @@ latency numbers:
   over serve records, with typed run-log alerts;
 * :mod:`repro.serve.degrade`   — graceful degradation: priority classes,
   burn-driven proactive shedding, cluster quarantine, and the
-  serve-level chaos harness.
+  serve-level chaos harness;
+* :mod:`repro.serve.gateway`   — the live asyncio front-end: streaming
+  admission over the same engine, ``await submit(...)`` with typed
+  outcomes and a virtual-clock bridge;
+* :mod:`repro.serve.hints`     — observed stack hints persisted beside
+  the plan DB (``ServeConfig(stack_hints="observed")``).
 """
 
+from ..errors import FaultError, OverloadError
 from .batcher import Batch, ShapeBucketBatcher, bucket_key, bucket_label
 from .degrade import (
     BULK,
@@ -38,7 +44,9 @@ from .degrade import (
     ServeChaosReport,
     chaos_serve,
 )
+from .gateway import Gateway, gateway_replay
 from .harness import SweepPoint, SweepResult, sweep
+from .hints import load_stack_hints, save_stack_hints
 from .loadgen import (
     MIXES,
     ShapeClass,
@@ -47,7 +55,7 @@ from .loadgen import (
 )
 from .request import BatchRecord, GemmRequest, RequestRecord
 from .scheduler import POLICIES, ClusterBackend, Scheduler, WarmupReport
-from .server import ServeConfig, ServeReport, serve
+from .server import ServeConfig, ServeEngine, ServeReport, serve
 from .slo import (
     SLO_SCHEMA,
     BurnWindow,
@@ -66,11 +74,14 @@ __all__ = [
     "DegradeEvent",
     "DegradePolicy",
     "DegradeReport",
+    "FaultError",
+    "Gateway",
     "GemmRequest",
     "HealthPolicy",
     "INTERACTIVE",
     "MIXES",
     "OnlineBurn",
+    "OverloadError",
     "POLICIES",
     "PriorityClass",
     "RequestRecord",
@@ -78,6 +89,7 @@ __all__ = [
     "Scheduler",
     "ServeChaosReport",
     "ServeConfig",
+    "ServeEngine",
     "ServeReport",
     "ShapeBucketBatcher",
     "ShapeClass",
@@ -90,9 +102,12 @@ __all__ = [
     "bucket_key",
     "bucket_label",
     "chaos_serve",
+    "gateway_replay",
     "get_mix",
+    "load_stack_hints",
     "make_requests",
     "monitor",
+    "save_stack_hints",
     "serve",
     "sweep",
 ]

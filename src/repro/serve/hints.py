@@ -1,0 +1,124 @@
+"""Persistent observed stack hints: close the warmup loop across runs.
+
+Warmup hints normally come a-priori from the pre-drawn stream
+(:func:`~repro.serve.server.expected_stack_hints`), but a live workload's
+batch shapes drift — the stacked M a bucket *actually* coalesces at is
+only known after a run.  This module persists
+:meth:`~repro.serve.server.ServeReport.stack_hints` (the observed mean
+stacked M per bucket class) alongside the plan database, so the next
+session's warmup — ``ServeConfig(stack_hints="observed")`` — pre-tunes
+at the stacks the previous run really saw.
+
+Storage follows the plan-database conventions exactly: one JSON file
+(``stack-hints-v1.json``) in the same directory as ``plans-v1.json``,
+atomic temp-file + rename saves, and corrupt files quarantined to
+``*.bad`` (counted as ``serve/hints/quarantined``) instead of crashing.
+Hints only steer which plans/kernels get pre-cached — they never change
+simulated results, so a missing or stale store is always safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from ..errors import PlanError
+from ..obs import current
+from .scheduler import StackHints
+
+#: bump when the serialization changes; old files are simply ignored
+HINTS_VERSION = 1
+
+FILENAME = f"stack-hints-v{HINTS_VERSION}.json"
+
+
+def default_hints_path() -> Path | None:
+    """The store's location: beside the plan DB (``$REPRO_KERNEL_CACHE``).
+
+    ``None`` when caching is disabled — then hints are session-only.
+    """
+    from ..kernels.registry import default_cache_dir
+
+    root = default_cache_dir()
+    return root / "plans" / FILENAME if root is not None else None
+
+
+def _count(name: str, by: int = 1) -> None:
+    m = current()
+    if m is not None:
+        m.counter(f"serve/hints/{name}").inc(by)
+
+
+def load_stack_hints(path: Path | str | None = None) -> StackHints:
+    """Read the persisted observed hints; `{}` when absent or disabled.
+
+    A corrupt or wrong-version file is quarantined to ``*.bad`` and
+    treated as empty — loading hints can never fail a serve run.
+    """
+    p = Path(path) if path is not None else default_hints_path()
+    if p is None or not p.exists():
+        return {}
+    try:
+        blob = json.loads(p.read_text())
+        if blob.get("version") != HINTS_VERSION:
+            raise PlanError(f"unsupported hints version {blob.get('version')}")
+        hints: StackHints = {}
+        for key, stack in blob["hints"].items():
+            n, k, dtype = key.split(":")
+            hints[(int(n), int(k), dtype)] = int(stack)
+    except (OSError, ValueError, KeyError, AttributeError, PlanError):
+        _count("quarantined")
+        try:
+            os.replace(p, p.with_name(p.name + ".bad"))
+        except OSError:
+            pass
+        return {}
+    _count("loaded", len(hints))
+    return hints
+
+
+def save_stack_hints(
+    hints: StackHints, path: Path | str | None = None
+) -> Path | None:
+    """Merge ``hints`` into the store atomically; returns the path.
+
+    Existing entries for other bucket classes are kept (a run that never
+    touched the decode projections must not forget their stacks); entries
+    for classes this run observed are overwritten with the fresh value.
+    No-op (returns ``None``) when caching is disabled.
+    """
+    p = Path(path) if path is not None else default_hints_path()
+    if p is None:
+        return None
+    merged = dict(load_stack_hints(p))
+    merged.update(hints)
+    blob = json.dumps(
+        {
+            "version": HINTS_VERSION,
+            "hints": {
+                f"{n}:{k}:{dtype}": int(stack)
+                for (n, k, dtype), stack in sorted(merged.items())
+            },
+        },
+        indent=1,
+        sort_keys=True,
+    )
+    try:
+        p.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=p.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(blob)
+            os.replace(tmp, p)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return None
+    _count("saved", len(hints))
+    return p

@@ -1,11 +1,23 @@
-"""The simulated-time serve loop: admit → batch → schedule → execute.
+"""The simulated-time serve engine: admit → batch → schedule → execute.
 
-:func:`serve` replays an open-loop request stream against the simulated
-machine and returns a :class:`ServeReport` with one record per request.
-The loop is a small discrete-event simulation (arrival, batch-timeout,
-batch-start and cluster-free events on one heap), entirely driven by
-simulated seconds — same seed + config replays the identical
-request-level latency table, bit for bit.
+:class:`ServeEngine` is a small discrete-event simulation (arrival,
+batch-timeout, batch-start and cluster-free events on one heap),
+entirely driven by simulated seconds, with **streaming admission**:
+requests enter via :meth:`ServeEngine.offer` at call time — there is no
+pre-drawn request list inside the engine.  Two clients ride on top:
+
+* :func:`serve` — the replay client: offers a pre-drawn open-loop
+  stream in arrival order, runs the engine to completion and returns a
+  :class:`ServeReport` with one record per request.  Same seed + config
+  replays the identical request-level latency table, bit for bit.
+* :class:`~repro.serve.gateway.Gateway` — the live asyncio client:
+  callers ``await submit(...)`` and the virtual-clock bridge advances
+  the engine only as far as the oldest outstanding await requires.
+
+Events at equal simulated time are ordered arrivals-first, then by push
+order — a rule that does not depend on *when* an event was pushed, so a
+live caller interleaving offers with awaits produces records
+bit-identical to the equivalent pre-drawn replay.
 
 Contracts, enforced rather than hoped for:
 
@@ -94,8 +106,12 @@ class ServeConfig:
     warmup_tune: str = "rule"
     #: warm each bucket at its expected *stacked* M from the request
     #: stream instead of the first request's M (batch-aware tuning);
-    #: affects only which plans/kernels are pre-cached, never results
-    stack_hints: bool = True
+    #: ``"observed"`` additionally seeds warmup from the stack heights a
+    #: *previous* session actually observed (persisted alongside the
+    #: plan database) and persists this run's observed stacks for the
+    #: next one.  Affects only which plans/kernels are pre-cached,
+    #: never results.
+    stack_hints: bool | str = True
     #: modeled un-warmed plan-search penalty; None = charge the measured
     #: warmup tune wall instead (machine-dependent — replay determinism
     #: holds only for explicit constants)
@@ -129,6 +145,13 @@ class ServeConfig:
             raise PlanError(
                 f"warmup_tune must be 'rule' or 'search', "
                 f"got {self.warmup_tune!r}"
+            )
+        if not isinstance(self.stack_hints, bool) and (
+            self.stack_hints != "observed"
+        ):
+            raise PlanError(
+                f"stack_hints must be True, False or 'observed', "
+                f"got {self.stack_hints!r}"
             )
         if not 0.0 <= self.trace_sample <= 1.0:
             raise PlanError("trace_sample must be in [0, 1]")
@@ -301,18 +324,34 @@ class _Execution:
         return self.tune_s + self.stage_s + self.gemm_s + self.lost_s
 
 
-class _ServeLoop:
-    """One serve run's mutable state (kept off the public API)."""
+#: heap tie-break rank at equal simulated time: arrivals first, then
+#: everything else in push order.  In a replay all arrivals are pushed
+#: before the run starts (smallest sequence numbers), so this rule is
+#: exactly the order the pre-rank loop already produced — but unlike raw
+#: push order it also holds when arrivals stream in live, which is what
+#: makes gateway records bit-identical to the replay's.
+_RANK_ARRIVE = 0
+_RANK_OTHER = 1
+
+
+class ServeEngine:
+    """The streaming serve engine: one run's mutable DES state.
+
+    Requests are *offered* (streaming admission at call time), events are
+    advanced explicitly, and every offered request deterministically ends
+    in :attr:`records` — completed, typed-shed or typed-failed.  The
+    engine never looks at a request list: :func:`serve` replays a
+    pre-drawn stream through it, and the asyncio
+    :class:`~repro.serve.gateway.Gateway` feeds it live submissions.
+    """
 
     def __init__(
         self,
-        requests: list[GemmRequest],
         config: ServeConfig,
         machine: MachineConfig,
     ) -> None:
         self.config = config
         self.machine = machine
-        self.requests = requests
         self.batcher = ShapeBucketBatcher(
             max_batch=config.max_batch,
             max_wait_s=config.max_wait_s,
@@ -351,8 +390,14 @@ class _ServeLoop:
         self.verify_repaired = 0
         self.redispatches = 0
         self.last_finish_s = 0.0
-        self._events: list[tuple[float, int, str, object]] = []
+        self.last_arrival_s = 0.0
+        self.n_offered = 0
+        #: the engine's virtual clock: the latest simulated instant any
+        #: event or offer has been processed at (monotone)
+        self.now_s = 0.0
+        self._events: list[tuple[float, int, int, str, object]] = []
         self._seq = 0
+        self._finished = False
         #: EDF central queue: (deadline, close_s, batch_id, batch, execution)
         self._ready: list[tuple[float, float, int, Batch, _Execution]] = []
         #: trace display lanes for request spans: lane index -> last end
@@ -361,31 +406,97 @@ class _ServeLoop:
     # -- event plumbing ----------------------------------------------------
 
     def _push(self, at_s: float, kind: str, payload: object) -> None:
-        heapq.heappush(self._events, (at_s, self._seq, kind, payload))
+        rank = _RANK_ARRIVE if kind == "arrive" else _RANK_OTHER
+        heapq.heappush(self._events, (at_s, rank, self._seq, kind, payload))
         self._seq += 1
 
-    def run(self) -> None:
-        for req in self.requests:
-            self._push(req.arrival_s, "arrive", req)
-        while self._events:
-            now, _seq, kind, payload = heapq.heappop(self._events)
-            if kind == "arrive":
-                self._on_arrive(payload, now)
-            elif kind == "timeout":
-                batch = self.batcher.close_due(payload, now)
-                if batch is not None:
-                    self._on_close(batch, now)
-            elif kind == "start":
-                self.pending -= payload
-                self._gauge_queue()
-            elif kind == "free":
+    def _step(self) -> None:
+        """Pop and process exactly one event."""
+        now, _rank, _seq, kind, payload = heapq.heappop(self._events)
+        if now > self.now_s:
+            self.now_s = now
+        if kind == "arrive":
+            self._on_arrive(payload, now)
+        elif kind == "timeout":
+            batch = self.batcher.close_due(payload, now)
+            if batch is not None:
+                self._on_close(batch, now)
+        elif kind == "start":
+            self.pending -= payload
+            self._gauge_queue()
+        elif kind == "free":
+            self._edf_pull(now)
+        else:  # pragma: no cover - defensive
+            raise PlanError(f"unknown event {kind!r}")
+
+    # -- streaming admission ----------------------------------------------
+
+    def offer(self, req: GemmRequest, *, arrival_s: float | None = None) -> None:
+        """Admit (or typed-shed) one request at its arrival instant.
+
+        The engine first advances through every event strictly earlier
+        than the arrival (events *at* the arrival instant stay queued —
+        arrivals win ties, the replay rule), then runs admission: shed
+        decisions, bucket coalescing and batch closes happen right here,
+        so a full bucket executes synchronously and
+        ``records[req.req_id]`` may already exist when this returns.
+        """
+        at = req.arrival_s if arrival_s is None else arrival_s
+        if self._finished:
+            raise PlanError("engine already finished")
+        if at < self.last_arrival_s:
+            raise PlanError(
+                f"request {req.req_id} arrives at {at} before the "
+                f"previous offer at {self.last_arrival_s} — offers must "
+                "be in non-decreasing arrival order"
+            )
+        if req.req_id in self.records:
+            raise PlanError(f"duplicate request id {req.req_id}")
+        self.advance_to(at)
+        self.last_arrival_s = at
+        if at > self.now_s:
+            self.now_s = at
+        self.n_offered += 1
+        self._on_arrive(req, at)
+
+    def advance_to(self, t_s: float) -> None:
+        """Process every queued event strictly earlier than ``t_s``."""
+        while self._events and self._events[0][0] < t_s:
+            self._step()
+
+    def resolved(self, req_id: int) -> bool:
+        return req_id in self.records
+
+    def advance_until(self, req_id: int) -> RequestRecord:
+        """Advance the DES just far enough to resolve ``req_id``.
+
+        This is the virtual-clock bridge's workhorse: it pops events in
+        deterministic order until the request's record exists, falling
+        back to the EDF ready-queue drain when the heap runs dry (a
+        quarantined backend is not "free" until its cooldown expires —
+        ``next_ready_s`` covers it).  The clock never moves further than
+        the awaited request requires.
+        """
+        while req_id not in self.records:
+            if self._events:
+                self._step()
+            elif self._ready:
+                now = max(self.now_s, self.sched.next_ready_s())
+                self.now_s = now
                 self._edf_pull(now)
-            else:  # pragma: no cover - defensive
-                raise PlanError(f"unknown event {kind!r}")
-        # end of stream: close what's still waiting
-        t_end = max(
-            [r.arrival_s for r in self.requests] + [self.last_finish_s]
-        )
+            else:  # pragma: no cover - contract guard
+                raise PlanError(
+                    f"request {req_id} cannot resolve: no pending events"
+                )
+        return self.records[req_id]
+
+    def finish(self) -> None:
+        """End of stream: run every event, close stragglers, drain EDF."""
+        if self._finished:
+            return
+        while self._events:
+            self._step()
+        t_end = max(self.last_arrival_s, self.last_finish_s)
         for batch in self.batcher.drain(t_end):
             self._on_close(batch, t_end)
         # EDF queue drains against future frees (a quarantined backend is
@@ -393,6 +504,8 @@ class _ServeLoop:
         while self._ready:
             now = max(t_end, self.sched.next_ready_s())
             self._edf_pull(now)
+        self.now_s = max(self.now_s, t_end, self.last_finish_s)
+        self._finished = True
 
     # -- handlers ----------------------------------------------------------
 
@@ -902,6 +1015,98 @@ class _ServeLoop:
             m.gauge("serve/queue/depth").set(self.pending)
 
 
+def warm_engine(
+    engine: ServeEngine,
+    requests: list[GemmRequest],
+    *,
+    stack_hints: StackHints | None = None,
+    warm_jobs: int | None = None,
+) -> WarmupReport:
+    """Pre-tune every distinct bucket class the request stream will hit.
+
+    Shared by the replay client (:func:`serve`) and the asyncio
+    :class:`~repro.serve.gateway.Gateway`, so both paths pre-populate the
+    same plan/kernel caches and charge identical cold-tune penalties —
+    part of the gateway-vs-replay bit-identity contract.  Explicit
+    ``stack_hints`` win; otherwise the expected-stacked-M estimate is
+    used, overlaid (``stack_hints="observed"``) with the stacks a
+    previous session persisted alongside the plan database.  Hints only
+    steer which shapes get pre-cached, never results.
+    """
+    config = engine.config
+    if not config.warmup:
+        return WarmupReport(mode=config.warmup_tune)
+    seen: dict[WarmKey, GemmShape] = {}
+    for req in requests:
+        key = (req.shape.n, req.shape.k, dtype_tag(req.b.dtype))
+        seen.setdefault(key, req.shape)
+    hints: StackHints | None = stack_hints
+    if hints is None and config.stack_hints:
+        hints = expected_stack_hints(requests, config.max_batch)
+        if config.stack_hints == "observed":
+            from .hints import load_stack_hints
+
+            hints = {**hints, **load_stack_hints()}
+    return engine.sched.warm(
+        [(s, key[2]) for key, s in seen.items()],
+        stack_hints=hints,
+        tune=config.warmup_tune,
+        jobs=warm_jobs,
+    )
+
+
+def assemble_report(
+    engine: ServeEngine, warmup: WarmupReport
+) -> ServeReport:
+    """Build the :class:`ServeReport` from a finished (or closed) engine."""
+    config = engine.config
+    records = [engine.records[rid] for rid in sorted(engine.records)]
+    last_arrival = engine.last_arrival_s
+    makespan = max(engine.last_finish_s, last_arrival)
+    degrade_report = None
+    if config.degrade is not None:
+        health = engine.sched.health or []
+        events = engine.sched.degrade_events
+        degrade_report = DegradeReport(
+            shed_queue_full=engine.shed_reasons.get("queue_full", 0),
+            shed_class=engine.shed_reasons.get("class_shed", 0),
+            shed_burn=engine.shed_reasons.get("burn_shed", 0),
+            peak_burn=engine.burn.peak if engine.burn is not None else 0.0,
+            burn_threshold=config.degrade.burn_threshold,
+            faults=sum(h.faults for h in health),
+            quarantines=sum(h.quarantines for h in health),
+            probes=sum(1 for e in events if e.kind == "probe"),
+            recoveries=sum(1 for e in events if e.kind == "recover"),
+            shed_by_class=dict(engine.shed_by_class),
+            # faults are noted at batch close, successes at finish, so
+            # the raw append order is not the timeline order
+            events=sorted(events, key=lambda e: e.at_s),
+        )
+    return ServeReport(
+        policy=config.policy,
+        config=config,
+        records=records,
+        batches=sorted(engine.batch_records, key=lambda b: b.batch_id),
+        warmup=warmup,
+        makespan_s=makespan,
+        offered_rps=(
+            len(records) / last_arrival if last_arrival > 0 else 0.0
+        ),
+        verify_repaired=engine.verify_repaired,
+        redispatches=engine.redispatches,
+        degrade=degrade_report,
+    )
+
+
+def persist_observed_hints(report: ServeReport) -> None:
+    """Fold this run's observed stacks into the persistent hint store."""
+    if report.config.stack_hints != "observed":
+        return
+    from .hints import save_stack_hints
+
+    save_stack_hints(report.stack_hints())
+
+
 def serve(
     requests: list[GemmRequest],
     config: ServeConfig | None = None,
@@ -912,6 +1117,8 @@ def serve(
 ) -> ServeReport:
     """Serve an open-loop request stream; returns one record per request.
 
+    A thin replay client of :class:`ServeEngine`: every request is
+    offered in arrival order and the engine runs to completion.
     ``stack_hints`` overrides the expected-stacked-M estimate the warmup
     tunes at (e.g. an earlier run's :meth:`ServeReport.stack_hints`);
     ``warm_jobs`` fans a ``warmup_tune="search"`` warmup across worker
@@ -924,59 +1131,16 @@ def serve(
         raise PlanError("empty request stream")
     ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
 
-    loop = _ServeLoop(ordered, config, machine)
-    warmup = WarmupReport(mode=config.warmup_tune)
-    if config.warmup:
-        seen: dict[WarmKey, GemmShape] = {}
-        for req in ordered:
-            key = (req.shape.n, req.shape.k, dtype_tag(req.b.dtype))
-            seen.setdefault(key, req.shape)
-        hints: StackHints | None = stack_hints
-        if hints is None and config.stack_hints:
-            hints = expected_stack_hints(ordered, config.max_batch)
-        warmup = loop.sched.warm(
-            [(s, key[2]) for key, s in seen.items()],
-            stack_hints=hints,
-            tune=config.warmup_tune,
-            jobs=warm_jobs,
-        )
-    loop.run()
-
-    records = [loop.records[r.req_id] for r in sorted(
-        ordered, key=lambda r: r.req_id
-    )]
-    if len(records) != len(ordered):  # pragma: no cover - contract guard
-        raise PlanError("a request was dropped silently")
-    last_arrival = max(r.arrival_s for r in ordered)
-    makespan = max(loop.last_finish_s, last_arrival)
-    degrade_report = None
-    if config.degrade is not None:
-        health = loop.sched.health or []
-        events = loop.sched.degrade_events
-        degrade_report = DegradeReport(
-            shed_queue_full=loop.shed_reasons.get("queue_full", 0),
-            shed_class=loop.shed_reasons.get("class_shed", 0),
-            shed_burn=loop.shed_reasons.get("burn_shed", 0),
-            peak_burn=loop.burn.peak if loop.burn is not None else 0.0,
-            burn_threshold=config.degrade.burn_threshold,
-            faults=sum(h.faults for h in health),
-            quarantines=sum(h.quarantines for h in health),
-            probes=sum(1 for e in events if e.kind == "probe"),
-            recoveries=sum(1 for e in events if e.kind == "recover"),
-            shed_by_class=dict(loop.shed_by_class),
-            # faults are noted at batch close, successes at finish, so
-            # the raw append order is not the timeline order
-            events=sorted(events, key=lambda e: e.at_s),
-        )
-    return ServeReport(
-        policy=config.policy,
-        config=config,
-        records=records,
-        batches=sorted(loop.batch_records, key=lambda b: b.batch_id),
-        warmup=warmup,
-        makespan_s=makespan,
-        offered_rps=len(ordered) / last_arrival if last_arrival > 0 else 0.0,
-        verify_repaired=loop.verify_repaired,
-        redispatches=loop.redispatches,
-        degrade=degrade_report,
+    engine = ServeEngine(config, machine)
+    warmup = warm_engine(
+        engine, ordered, stack_hints=stack_hints, warm_jobs=warm_jobs
     )
+    for req in ordered:
+        engine.offer(req)
+    engine.finish()
+
+    if len(engine.records) != len(ordered):  # pragma: no cover - guard
+        raise PlanError("a request was dropped silently")
+    report = assemble_report(engine, warmup)
+    persist_observed_hints(report)
+    return report

@@ -295,3 +295,55 @@ class TestServeCommand:
             "--runlog", str(tmp_path / "r.jsonl"),
         ]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_serve_gateway_audits_bit_identity(self, capsys, tmp_path):
+        assert main([
+            "serve", "--gateway", "--mix", "fem", "--loads", "30000",
+            "--n", "12", "--seed", "3",
+            "--runlog", str(tmp_path / "r.jsonl"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "records bit-identical to pre-drawn replay: yes" in out
+        assert "gateway counters:" in out
+        assert "submitted=12" in out
+        assert "resolved=12" in out
+
+
+class TestTraceCommand:
+    def _runlog(self, tmp_path, name, max_wait):
+        runlog = tmp_path / name
+        assert main([
+            "serve", "--mix", "fem", "--loads", "40000", "--n", "16",
+            "--seed", "2", "--max-wait", max_wait,
+            "--runlog", str(runlog),
+        ]) == 0
+        return runlog
+
+    def test_single_input_renders_critical_path(self, capsys, tmp_path):
+        runlog = self._runlog(tmp_path, "a.jsonl", "2e-3")
+        capsys.readouterr()
+        assert main(["trace", str(runlog)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path over" in out
+        assert "queue" in out
+
+    def test_two_inputs_diff_tails(self, capsys, tmp_path):
+        a = self._runlog(tmp_path, "a.jsonl", "2e-3")
+        b = self._runlog(tmp_path, "b.jsonl", "1e-4")
+        capsys.readouterr()
+        assert main(["trace", str(a), str(b), "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "A: " in out and "B: " in out
+        assert "critical-path diff" in out
+        assert "dp50 (ms)" in out
+        assert "verdict:" in out
+
+    def test_compare_without_second_input_errors(self, capsys, tmp_path):
+        a = self._runlog(tmp_path, "a.jsonl", "2e-3")
+        capsys.readouterr()
+        assert main(["trace", str(a), "--compare"]) == 1
+        assert "two inputs" in capsys.readouterr().err
+
+    def test_missing_input_reported_cleanly(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err

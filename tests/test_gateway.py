@@ -1,0 +1,418 @@
+"""The live asyncio gateway: streaming admission over the serve engine.
+
+The contracts under test are the ISSUE's acceptance bar:
+
+* a seeded async driver produces records **bit-identical** to the
+  equivalent pre-drawn replay — same shapes, arrivals, sheds and faults
+  (the virtual-clock bridge and the arrivals-first heap rule);
+* every gateway loss is *typed* (`OverloadError` / `FaultError`), never
+  silent — including futures outstanding at shutdown;
+* the gateway's private metrics fold into the ambient registry without
+  double-counting, no matter how many in-flight snapshots happen;
+* observed stack hints persist beside the plan DB and seed the next
+  session's warmup without ever changing results.
+"""
+
+import asyncio
+import json
+from dataclasses import replace as dc_replace
+
+import numpy as np
+import pytest
+
+from repro.analysis import critical_path, diff_critical_paths
+from repro.errors import FaultError, OverloadError, PlanError
+from repro.faults import FaultPlan
+from repro.obs import MetricsRegistry, collecting, tracing
+from repro.serve import (
+    DegradePolicy,
+    Gateway,
+    GemmRequest,
+    ServeConfig,
+    gateway_replay,
+    load_stack_hints,
+    make_requests,
+    save_stack_hints,
+    serve,
+)
+from repro.serve.request import COMPLETED, SHED
+
+from test_serve import fast_requests
+
+
+def _chaos_config(**kw):
+    """Overload + degradation + one sick cluster: the hardest replay."""
+    base = dict(
+        policy="least_loaded",
+        queue_cap=8,
+        degrade=DegradePolicy(),
+        faults=FaultPlan(seed=7, bitflip_rate=0.6, max_kernel_retries=0),
+        cluster_fault_scale=(1.0, 0.0, 0.0, 0.0),
+        max_redispatch=1,
+    )
+    base.update(kw)
+    return ServeConfig(**base)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("policy", ["fifo", "least_loaded", "edf"])
+    def test_gateway_matches_replay(self, policy):
+        config = ServeConfig(policy=policy)
+        replay = serve(fast_requests(), config)
+        live = gateway_replay(fast_requests(), config)
+        assert live.records == replay.records
+        assert live.batches == replay.batches
+        assert live.makespan_s == replay.makespan_s
+
+    def test_shed_parity_under_overload(self):
+        config = _chaos_config()
+        reqs = make_requests(
+            "transformer", rate_rps=400000, n_requests=60, seed=3
+        )
+        replay = serve(reqs, config)
+        live = gateway_replay(make_requests(
+            "transformer", rate_rps=400000, n_requests=60, seed=3
+        ), config)
+        assert replay.shed > 0  # the scenario actually sheds
+        assert live.records == replay.records
+        d_a, d_b = replay.degrade, live.degrade
+        assert (d_a.shed_queue_full, d_a.shed_class, d_a.shed_burn) == (
+            d_b.shed_queue_full, d_b.shed_class, d_b.shed_burn
+        )
+        assert d_a.peak_burn == d_b.peak_burn
+
+    def test_edf_quarantine_parity(self):
+        config = _chaos_config(
+            policy="edf",
+            faults=FaultPlan(seed=9, bitflip_rate=0.8, max_kernel_retries=0),
+        )
+        reqs = lambda: make_requests(  # noqa: E731
+            "transformer", rate_rps=300000, n_requests=48, seed=5
+        )
+        assert gateway_replay(reqs(), config).records == \
+            serve(reqs(), config).records
+
+    def test_gateway_run_is_replayable(self):
+        config = ServeConfig(policy="edf")
+        a = gateway_replay(fast_requests(seed=2), config)
+        b = gateway_replay(fast_requests(seed=2), config)
+        assert a.records == b.records
+
+
+class TestTypedOutcomes:
+    def test_submit_raises_typed_overload(self):
+        config = ServeConfig(queue_cap=1, max_batch=64, max_wait_s=1.0)
+        reqs = fast_requests(n=8, rate=1e6)
+
+        async def drive():
+            gw = Gateway(config)
+            outcomes = await asyncio.gather(
+                *[gw.submit(r) for r in reqs], return_exceptions=True
+            )
+            await gw.close()
+            return gw, outcomes
+
+        gw, outcomes = asyncio.run(drive())
+        sheds = [o for o in outcomes if isinstance(o, OverloadError)]
+        assert sheds and all(o.reason == "queue_full" for o in sheds)
+        # every loss is in the record table too — nothing silent
+        assert len(gw.report().records) == len(reqs)
+        assert gw.report().shed == len(sheds)
+
+    def test_submit_raises_typed_fault(self):
+        config = ServeConfig(
+            faults=FaultPlan(seed=1, bitflip_rate=1.0, max_kernel_retries=0),
+            max_redispatch=0,
+        )
+
+        async def drive():
+            async with Gateway(config) as gw:
+                with pytest.raises(FaultError, match="failed"):
+                    await gw.submit(fast_requests(n=1)[0])
+                return gw.report()
+
+        report = asyncio.run(drive())
+        assert report.failed == len(report.records) == 1
+        assert report.records[0].error
+
+    def test_submit_many_returns_records_not_raises(self):
+        config = _chaos_config()
+        reqs = make_requests(
+            "transformer", rate_rps=400000, n_requests=40, seed=3
+        )
+
+        async def drive():
+            async with Gateway(config) as gw:
+                return await gw.submit_many(reqs)
+
+        records = asyncio.run(drive())
+        assert [r.req_id for r in records] == [r.req_id for r in reqs]
+        assert any(r.status == SHED for r in records)
+        assert all(
+            r.error for r in records if r.status != COMPLETED
+        )
+
+    def test_stream_yields_in_submit_order(self):
+        async def drive():
+            async with Gateway(ServeConfig()) as gw:
+                got = []
+                async for rec in gw.stream(fast_requests(n=6)):
+                    got.append(rec.req_id)
+                return got
+
+        assert asyncio.run(drive()) == [0, 1, 2, 3, 4, 5]
+
+
+class TestShutdown:
+    def test_undrained_close_is_typed_never_silent(self):
+        # huge max-wait: requests sit in open buckets when we close
+        config = ServeConfig(max_wait_s=10.0, max_batch=64)
+        reqs = fast_requests(n=4)
+
+        async def drive():
+            gw = Gateway(config)
+            tasks = [asyncio.ensure_future(gw.submit(r)) for r in reqs]
+            await asyncio.sleep(0)          # offers happen, nothing resolves
+            assert gw.outstanding == len(reqs)
+            await gw.close(drain=False)
+            return gw, await asyncio.gather(*tasks, return_exceptions=True)
+
+        gw, outcomes = asyncio.run(drive())
+        assert all(isinstance(o, OverloadError) for o in outcomes)
+        assert all(o.reason == "shutdown" for o in outcomes)
+        report = gw.report()
+        assert len(report.records) == len(reqs)     # no silent loss
+        assert all(r.shed_reason == "shutdown" for r in report.records)
+
+    def test_drained_close_resolves_everything(self):
+        config = ServeConfig(max_wait_s=10.0, max_batch=64)
+        reqs = fast_requests(n=4)
+
+        async def drive():
+            gw = Gateway(config)
+            tasks = [asyncio.ensure_future(gw.submit(r)) for r in reqs]
+            await asyncio.sleep(0)
+            await gw.close(drain=True)
+            return await asyncio.gather(*tasks)
+
+        records = asyncio.run(drive())
+        assert all(r.status == COMPLETED for r in records)
+
+    def test_close_is_idempotent_and_submit_after_close_raises(self):
+        async def drive():
+            gw = Gateway(ServeConfig())
+            await gw.submit(fast_requests(n=1)[0])
+            await gw.close()
+            await gw.close()
+            with pytest.raises(PlanError, match="closed"):
+                await gw.submit(fast_requests(n=2)[1])
+
+        asyncio.run(drive())
+
+
+class TestLiveSubmission:
+    def test_closed_loop_caller_is_deterministic(self):
+        """await-between-submits is a different workload than the open
+        loop (the engine advances past would-be coalescing windows), but
+        it must still be deterministic and fully typed."""
+        config = ServeConfig()
+
+        def run():
+            async def drive():
+                async with Gateway(config) as gw:
+                    out = []
+                    for req in fast_requests(n=8):
+                        rec = await gw.submit(dc_replace(req))
+                        out.append(rec)
+                    return out
+            return asyncio.run(drive())
+
+        a, b = run(), run()
+        assert a == b
+        assert all(r.status == COMPLETED for r in a)
+
+    def test_submit_gemm_stamps_arrivals_and_computes(self):
+        rng = np.random.default_rng(0)
+
+        async def drive():
+            async with Gateway(ServeConfig(verify=True)) as gw:
+                a = rng.standard_normal((32, 16)).astype(np.float32)
+                b = rng.standard_normal((16, 24)).astype(np.float32)
+                rec = await gw.submit_gemm(a, b, deadline_budget_s=1.0)
+                # live clock: the next auto-stamped arrival never
+                # precedes the resolved response
+                rec2 = await gw.submit_gemm(a, b)
+                return rec, rec2
+
+        rec, rec2 = asyncio.run(drive())
+        assert rec.status == COMPLETED and rec.bit_exact
+        assert rec2.arrival_s >= rec.finish_s
+        assert rec.deadline_met is True
+
+    def test_submit_gemm_rejects_bad_operands(self):
+        async def drive():
+            async with Gateway(ServeConfig()) as gw:
+                with pytest.raises(PlanError, match="2-D"):
+                    await gw.submit_gemm(
+                        np.zeros((4, 4), np.float32),
+                        np.zeros((5, 4), np.float32),
+                    )
+
+        asyncio.run(drive())
+
+
+class TestMetricsMerge:
+    def test_inflight_snapshots_never_double_count(self):
+        config = ServeConfig()
+        reqs = fast_requests()
+
+        # ground truth: the replay path under one ambient registry
+        with collecting() as want:
+            serve(fast_requests(), config)
+
+        async def drive(gw):
+            tasks = [asyncio.ensure_future(gw.submit(r)) for r in reqs]
+            await asyncio.sleep(0)
+            gw.stats()                      # mid-flight snapshot #1
+            await asyncio.gather(*tasks)
+            gw.stats()                      # snapshot #2, post-resolution
+            await gw.close()                # final fold
+
+        with collecting() as got:
+            gw = Gateway(config)
+            gw.warm(reqs)
+            asyncio.run(drive(gw))
+
+        for name in want.names():
+            if name.startswith("serve/"):
+                assert name in got
+                w = want.snapshot()[name]
+                g = got.snapshot()[name]
+                if w["type"] in ("counter", "histogram", "distribution"):
+                    assert g["count" if "count" in w else "value"] == \
+                        w["count" if "count" in w else "value"], name
+                if w["type"] == "histogram":
+                    assert g["counts"] == w["counts"], name
+                    assert g["total"] == w["total"], name
+
+    def test_gateway_counters(self):
+        with collecting() as reg:
+            gateway_replay(fast_requests(n=6), ServeConfig())
+        snap = reg.snapshot()
+        assert snap["serve/gateway/submitted"]["value"] == 6
+        assert snap["serve/gateway/resolved"]["value"] == 6
+
+
+class TestGatewayTrace:
+    def test_gateway_spans_emitted(self):
+        reqs = fast_requests(n=6)
+
+        async def drive():
+            async with Gateway(ServeConfig()) as gw:
+                await gw.submit_many(reqs)
+
+        with tracing() as tracer:
+            asyncio.run(drive())
+        cats = {s.category for s in tracer.spans}
+        assert "gateway" in cats
+        names = [s.name for s in tracer.spans if s.category == "gateway"]
+        assert any(n.startswith("submit req") for n in names)
+        assert any(n.startswith("await req") for n in names)
+        assert any(n.startswith("resolve req") for n in names)
+        awaits = [s for s in tracer.spans
+                  if s.category == "gateway" and s.name.startswith("await")]
+        assert len(awaits) == len(reqs)
+        assert all(s.end_s >= s.start_s for s in awaits)
+
+    def test_tracing_never_changes_records(self):
+        config = ServeConfig(policy="edf")
+        plain = gateway_replay(fast_requests(seed=4), config)
+        with tracing():
+            traced = gateway_replay(fast_requests(seed=4), config)
+        assert plain.records == traced.records
+
+
+class TestStackHints:
+    def test_roundtrip_and_merge(self, tmp_path):
+        p = tmp_path / "stack-hints-v1.json"
+        save_stack_hints({(64, 16, "f32"): 32}, p)
+        save_stack_hints({(64, 256, "f32"): 53}, p)
+        assert load_stack_hints(p) == {
+            (64, 16, "f32"): 32, (64, 256, "f32"): 53,
+        }
+        # fresh observation overwrites the class, keeps the others
+        save_stack_hints({(64, 16, "f32"): 48}, p)
+        assert load_stack_hints(p)[(64, 16, "f32")] == 48
+
+    def test_corrupt_store_quarantined(self, tmp_path):
+        p = tmp_path / "stack-hints-v1.json"
+        p.write_text("{not json")
+        assert load_stack_hints(p) == {}
+        assert p.with_name(p.name + ".bad").exists()
+        assert not p.exists()
+
+    def test_wrong_version_ignored(self, tmp_path):
+        p = tmp_path / "stack-hints-v1.json"
+        p.write_text(json.dumps({"version": 999, "hints": {}}))
+        assert load_stack_hints(p) == {}
+
+    def test_observed_hints_close_the_loop(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path))
+        config = ServeConfig(stack_hints="observed")
+        first = serve(fast_requests(seed=0), config)
+        persisted = load_stack_hints(
+            tmp_path / "plans" / "stack-hints-v1.json"
+        )
+        assert persisted == first.stack_hints()
+        second = serve(fast_requests(seed=1), config)
+        assert second.warmup.hinted == second.warmup.n_buckets
+        # hints steer warmup only — results match the un-hinted run
+        plain = serve(fast_requests(seed=1), ServeConfig())
+        assert second.records == plain.records
+
+    def test_gateway_persists_observed_hints(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path))
+        config = ServeConfig(stack_hints="observed")
+        report = gateway_replay(fast_requests(seed=0), config)
+        assert load_stack_hints(
+            tmp_path / "plans" / "stack-hints-v1.json"
+        ) == report.stack_hints()
+
+    def test_config_rejects_bogus_hints_mode(self):
+        with pytest.raises(PlanError, match="stack_hints"):
+            ServeConfig(stack_hints="bogus")
+
+
+class TestTraceDiff:
+    def _reports(self):
+        slow = ServeConfig(max_wait_s=2e-3)
+        fast = ServeConfig(max_wait_s=1e-4)
+        a = serve(fast_requests(n=32), slow)
+        b = serve(fast_requests(n=32), fast)
+        return (
+            critical_path(a.records, a.batches),
+            critical_path(b.records, b.batches),
+        )
+
+    def test_diff_shows_queue_shrinking(self):
+        cp_a, cp_b = self._reports()
+        diff = diff_critical_paths(cp_a, cp_b)
+        assert diff.quantiles == (0.50, 0.99)
+        # a 20x smaller max-wait must shrink the queue segment's tail
+        assert diff.delta(0.99)["queue"] < 0
+        assert "queue" in diff.render()
+        assert diff.to_dict()["verdict"] == diff.verdict()
+
+    def test_diff_of_identical_runs_is_zero(self):
+        cp_a, _ = self._reports()
+        diff = diff_critical_paths(cp_a, cp_a)
+        for q in diff.quantiles:
+            assert all(v == 0.0 for v in diff.delta(q).values())
+        assert "unchanged" in diff.verdict()
+
+    def test_diff_validates_quantiles(self):
+        cp_a, cp_b = self._reports()
+        with pytest.raises(Exception, match="quantile"):
+            diff_critical_paths(cp_a, cp_b, quantiles=(1.5,))
+        with pytest.raises(Exception, match="at least one"):
+            diff_critical_paths(cp_a, cp_b, quantiles=())
