@@ -61,6 +61,8 @@ from .serve import (
     Gateway,
     GemmRequest,
     HealthPolicy,
+    PlacementManager,
+    PlacementReport,
     PriorityClass,
     ServeChaosReport,
     ServeConfig,
@@ -122,6 +124,8 @@ __all__ = [
     "GemmShape",
     "Histogram",
     "MultiClusterResult",
+    "PlacementManager",
+    "PlacementReport",
     "PlanDB",
     "SearchStats",
     "ServeConfig",

@@ -409,6 +409,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         degrade=(DegradePolicy()
                  if (args.degrade or args.chaos) else None),
         trace_sample=args.trace_sample,
+        replicate_b=args.replicate_b,
+        replica_budget_bytes=args.replica_budget,
+        max_replicas=args.max_replicas,
+        promote_after=args.promote_after,
     )
 
     if args.gateway:
@@ -516,6 +520,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     slo = monitor(last.report.records)
     print()
     print(slo.render())
+    if last.report.placement is not None:
+        print()
+        print(last.report.placement.describe())
 
     record = make_record(
         shape=f"mix:{result.mix_name}",
@@ -871,6 +878,26 @@ def build_parser() -> argparse.ArgumentParser:
                               "bit-flips at the highest offered load, "
                               "end-to-end contract audited (implies "
                               "--degrade; non-zero exit on violation)")
+    p_serve.add_argument("--replicate-b",
+                         choices=["off", "static", "adaptive"],
+                         default="off",
+                         help="replicated-B placement: promote hot "
+                              "shared-B buckets to multi-cluster replica "
+                              "sets and route batches to replica holders "
+                              "(default off; off is bit-identical to the "
+                              "pre-placement engine)")
+    p_serve.add_argument("--replica-budget", type=int, default=8 << 20,
+                         metavar="BYTES",
+                         help="per-cluster replica memory budget in bytes "
+                              "(default 8 MiB; cold replicas are "
+                              "LRU-demoted to stay under it)")
+    p_serve.add_argument("--max-replicas", type=int, default=4,
+                         help="clusters each hot B is replicated across "
+                              "(default 4, capped at the pool size)")
+    p_serve.add_argument("--promote-after", type=int, default=2,
+                         metavar="N",
+                         help="batches a bucket must attract before "
+                              "adaptive promotion fires (default 2)")
     p_serve.add_argument("--trace-sample", type=float, default=1.0,
                          metavar="RATE",
                          help="deterministic per-request trace sampling "

@@ -26,6 +26,9 @@ latency numbers:
 * :mod:`repro.serve.gateway`   — the live asyncio front-end: streaming
   admission over the same engine, ``await submit(...)`` with typed
   outcomes and a virtual-clock bridge;
+* :mod:`repro.serve.placement` — replicated-B placement: traffic-driven
+  promotion of hot shared-B matrices to multi-cluster replica sets,
+  replica-aware routing, LRU demotion under a memory budget;
 * :mod:`repro.serve.hints`     — observed stack hints persisted beside
   the plan DB (``ServeConfig(stack_hints="observed")``).
 """
@@ -52,6 +55,13 @@ from .loadgen import (
     ShapeClass,
     get_mix,
     make_requests,
+)
+from .placement import (
+    REPLICATE_MODES,
+    PlacementEvent,
+    PlacementManager,
+    PlacementReport,
+    ReplicaSet,
 )
 from .request import BatchRecord, GemmRequest, RequestRecord
 from .scheduler import POLICIES, ClusterBackend, Scheduler, WarmupReport
@@ -83,7 +93,12 @@ __all__ = [
     "OnlineBurn",
     "OverloadError",
     "POLICIES",
+    "PlacementEvent",
+    "PlacementManager",
+    "PlacementReport",
     "PriorityClass",
+    "REPLICATE_MODES",
+    "ReplicaSet",
     "RequestRecord",
     "SLO_SCHEMA",
     "Scheduler",

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.batched import b_digest
+from ..core.blocking import DTYPE_SIZES
 from ..errors import PlanError
 from ..obs.trace import current_tracer
 from .request import GemmRequest
@@ -50,6 +51,17 @@ def bucket_label(key: BucketKey) -> str:
     return f"*x{n}x{k}/{dtype}/{tag}"
 
 
+def bucket_b_bytes(key: BucketKey) -> int:
+    """Size of the bucket's shared B matrix in bytes.
+
+    A pure function of the bucket key (K x N at the dtype's width), so
+    the placement layer can budget replica memory without touching
+    request operands.
+    """
+    n, k, dtype, _b_id = key
+    return n * k * DTYPE_SIZES[dtype]
+
+
 @dataclass
 class Batch:
     """A closed group of coalescible requests, ready to dispatch."""
@@ -63,6 +75,21 @@ class Batch:
     @property
     def n_items(self) -> int:
         return len(self.requests)
+
+    @property
+    def b_digest(self) -> object:
+        """The shared-B content token the bucket coalesced on.
+
+        A blake2b content digest with ``by_digest=True`` (the default),
+        an object id otherwise — either way the token the placement
+        layer keys replica sets on.
+        """
+        return self.key[3]
+
+    @property
+    def b_bytes(self) -> int:
+        """Size of the batch's shared B matrix in bytes."""
+        return bucket_b_bytes(self.key)
 
     @property
     def stacked_m(self) -> int:

@@ -91,6 +91,9 @@ class Gateway:
         self._pump_scheduled = False
         self._closed = False
         self._next_req_id = 0
+        #: most awaits ever outstanding at once — the backpressure the
+        #: live callers actually exerted (1 = strict closed loop)
+        self._outstanding_high = 0
         #: live clock: auto-stamped arrivals never precede the last
         #: resolved response (a live caller reacts to what it has seen)
         self._live_now = 0.0
@@ -244,6 +247,16 @@ class Gateway:
             raise PlanError("gateway is closed")
         if self._next_req_id <= req.req_id:
             self._next_req_id = req.req_id + 1
+        # the request being admitted is in flight during its own offer —
+        # counted even when a full bucket resolves it synchronously, so
+        # the stat reports the backpressure the driver exerted
+        inflight = len(self._waiters) + 1
+        if inflight > self._outstanding_high:
+            self._outstanding_high = inflight
+            if self._metrics is not None:
+                self._metrics.gauge("serve/gateway/outstanding").set(
+                    inflight
+                )
         tracer = current_tracer()
         if tracer is not None:
             tracer.instant(
@@ -354,6 +367,18 @@ class Gateway:
     def outstanding(self) -> int:
         """Submitted awaits not yet resolved."""
         return len(self._waiters)
+
+    @property
+    def outstanding_high_water(self) -> int:
+        """Most submits ever in flight at once (backpressure stat).
+
+        A strict closed loop holds this at 1; a windowed driver at its
+        window size.  A submit counts during its own admission even when
+        a full bucket resolves it synchronously.  Also exported as the
+        ``serve/gateway/outstanding`` gauge (whose high-water mark this
+        mirrors) when metrics are on.
+        """
+        return self._outstanding_high
 
     @property
     def now_s(self) -> float:

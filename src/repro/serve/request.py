@@ -135,3 +135,5 @@ class BatchRecord:
     lost_s: float = 0.0            # failed fault attempts, honestly charged
     redispatches: int = 0
     request_ids: list[int] = field(default_factory=list)
+    #: ran on a cluster already holding a B replica (skipped B staging)
+    b_resident: bool = False

@@ -85,6 +85,22 @@ class ClusterBackend:
         self.busy_s += span_s
         return self.busy_until_s
 
+    def occupy(self, start_s: float, span_s: float) -> float:
+        """Occupy the backend without counting a batch.
+
+        Used for replica staging (:mod:`repro.serve.placement`): the
+        host copies a B matrix into this cluster's memory partition,
+        which blocks the cluster's timeline but is not a served batch.
+        """
+        if start_s < self.busy_until_s:
+            raise PlanError(
+                f"cluster {self.idx}: occupy at {start_s} before "
+                f"busy_until {self.busy_until_s}"
+            )
+        self.busy_until_s = start_s + span_s
+        self.busy_s += span_s
+        return self.busy_until_s
+
 
 @dataclass
 class ClusterHealth:
@@ -113,7 +129,18 @@ class WarmupReport:
 
     @property
     def measured_tune_s(self) -> float | None:
-        """Mean per-bucket tune wall, when any bucket was warmed."""
+        """Mean per-bucket tune wall, when any bucket was warmed.
+
+        **Machine-dependent, not replayable.**  The walls in
+        ``tune_wall_s`` are ``time.perf_counter`` measurements of real
+        plan-search work, so they vary run to run and host to host.
+        They feed :meth:`Scheduler.tune_penalty` only when
+        ``cold_tune_s=None`` — which therefore trades the deterministic
+        replay contract for a realistic cold-tune cost.  Any explicit
+        (constant) ``cold_tune_s`` keeps replays bit-identical across
+        runs and machines; the regression test in
+        ``tests/test_serve_invariants.py`` holds that contract.
+        """
         if not self.tune_wall_s:
             return None
         return sum(self.tune_wall_s) / len(self.tune_wall_s)
@@ -130,6 +157,7 @@ class Scheduler:
         cold_tune_s: float | None,
         machine: MachineConfig,
         health: HealthPolicy | None = None,
+        placement=None,
     ) -> None:
         if policy not in POLICIES:
             raise PlanError(
@@ -149,6 +177,9 @@ class Scheduler:
             [ClusterHealth() for _ in range(n_clusters)]
             if health is not None else None
         )
+        #: replicated-B placement map (None = placement off); binding
+        #: consults it so batches run where their B is already resident
+        self.placement = placement
         self.degrade_events: list[DegradeEvent] = []
 
     # -- cluster selection -------------------------------------------------
@@ -184,12 +215,27 @@ class Scheduler:
             if m is not None:
                 m.counter("serve/degrade/probes").inc()
 
-    def pick_backend(self, now: float | None = None) -> ClusterBackend:
-        """Eager binding for fifo (round-robin) / least_loaded (greedy)."""
+    def pick_backend(
+        self, now: float | None = None, key=None
+    ) -> ClusterBackend:
+        """Eager binding for fifo (round-robin) / least_loaded (greedy).
+
+        With a placement map, a batch whose B is replicated binds to the
+        least-loaded *routable* replica holder regardless of policy —
+        replication exists to buy that freedom.  When no holder is
+        routable (e.g. every holder quarantined) the batch falls back to
+        the policy's normal binding and re-stages its B there.
+        """
         pool = (
             self.backends if (self.health is None or now is None)
             else self._eligible(now)
         )
+        if self.placement is not None and key is not None:
+            holder = self.placement.holder_in(key, pool)
+            if holder is not None:
+                if now is not None:
+                    self._note_selected(holder, now)
+                return holder
         if self.policy == "fifo":
             backend = pool[self._rr % len(pool)]
             self._rr += 1
@@ -215,14 +261,24 @@ class Scheduler:
         self._note_selected(backend, now)
         return backend
 
-    def idle_backend(self, now: float) -> ClusterBackend | None:
-        """An idle backend at ``now`` (EDF pull), or None."""
+    def idle_backend(self, now: float, key=None) -> ClusterBackend | None:
+        """An idle backend at ``now`` (EDF pull), or None.
+
+        With a placement map and a bucket ``key``, an idle replica
+        holder is preferred over the lowest-index idle backend; a pull
+        with no idle holder still proceeds (EDF urgency outranks data
+        locality) and the batch re-stages its B.
+        """
         free = [
             b for b in self._eligible(now) if b.busy_until_s <= now
         ]
         if not free:
             return None
-        backend = min(free, key=lambda b: b.idx)
+        backend = None
+        if self.placement is not None and key is not None:
+            backend = self.placement.holder_in(key, free)
+        if backend is None:
+            backend = min(free, key=lambda b: b.idx)
         self._note_selected(backend, now)
         return backend
 

@@ -53,6 +53,7 @@ from ..obs import current
 from ..obs.trace import current_tracer, head_sample, maybe_scope
 from .batcher import Batch, ShapeBucketBatcher, bucket_key, bucket_label, dtype_tag
 from .degrade import DegradePolicy, DegradeReport, OnlineBurn
+from .placement import REPLICATE_MODES, PlacementManager, PlacementReport
 from .request import (
     COMPLETED,
     FAILED,
@@ -135,6 +136,19 @@ class ServeConfig:
     #: spans (1.0 = keep everything).  Shed, failed and SLO-violating
     #: requests are always retained; only clean completions are sampled.
     trace_sample: float = 1.0
+    #: replicated-B placement: "off" (bit-identical to the pre-placement
+    #: engine), "static" (promote every digest on first traffic) or
+    #: "adaptive" (promote after ``promote_after`` batches).  Replication
+    #: changes where batches run and what staging they pay, never the
+    #: served bits.
+    replicate_b: str = "off"
+    #: per-cluster replica memory budget; cold replicas are LRU-demoted
+    #: to stay under it
+    replica_budget_bytes: int = 8 << 20
+    #: clusters each hot B is replicated across (capped at the pool size)
+    max_replicas: int = 4
+    #: batches a digest must attract before adaptive promotion fires
+    promote_after: int = 2
 
     def __post_init__(self) -> None:
         if self.queue_cap < 1:
@@ -158,6 +172,17 @@ class ServeConfig:
         if self.cluster_fault_scale is not None:
             if any(s < 0 for s in self.cluster_fault_scale):
                 raise PlanError("cluster_fault_scale entries must be >= 0")
+        if self.replicate_b not in REPLICATE_MODES:
+            raise PlanError(
+                f"replicate_b must be one of {REPLICATE_MODES}, "
+                f"got {self.replicate_b!r}"
+            )
+        if self.replica_budget_bytes < 1:
+            raise PlanError("replica_budget_bytes must be >= 1")
+        if self.max_replicas < 1:
+            raise PlanError("max_replicas must be >= 1")
+        if self.promote_after < 1:
+            raise PlanError("promote_after must be >= 1")
 
 
 @dataclass
@@ -176,6 +201,8 @@ class ServeReport:
     redispatches: int = 0
     #: degradation outcome (None when no degrade policy was configured)
     degrade: DegradeReport | None = None
+    #: replicated-B placement outcome (None when ``replicate_b="off"``)
+    placement: PlacementReport | None = None
 
     # -- aggregates --------------------------------------------------------
 
@@ -296,6 +323,8 @@ class ServeReport:
         ]
         if self.degrade is not None:
             parts.append(self.degrade.describe())
+        if self.placement is not None:
+            parts.append(self.placement.describe())
         return "\n".join(parts)
 
 
@@ -307,6 +336,13 @@ class _Execution:
     gemm_s: float = 0.0
     tune_s: float = 0.0
     stage_s: float = 0.0
+    #: staging with the shared B excluded — precomputed so a replica hit
+    #: swaps ``stage_s`` for this value without re-deriving floats (the
+    #: full-staging expression stays byte-for-byte what the pre-placement
+    #: engine computed, preserving off-mode bit identity)
+    stage_nob_s: float = 0.0
+    #: did the batch run on a cluster already holding its B replica?
+    b_resident: bool = False
     lost_s: float = 0.0
     redispatches: int = 0
     repaired: int = 0
@@ -366,6 +402,18 @@ class ServeEngine:
                 f"cluster_fault_scale has {len(config.cluster_fault_scale)} "
                 f"entries for {n_clusters} clusters"
             )
+        #: replicated-B placement manager; None keeps the binding paths
+        #: (and the records) bit-identical to the pre-placement engine
+        self.placement: PlacementManager | None = None
+        if config.replicate_b != "off":
+            self.placement = PlacementManager(
+                mode=config.replicate_b,
+                n_clusters=n_clusters,
+                budget_bytes=config.replica_budget_bytes,
+                max_replicas=config.max_replicas,
+                promote_after=config.promote_after,
+                cpu_bw=machine.cpu.ddr_bandwidth,
+            )
         self.sched = Scheduler(
             n_clusters=n_clusters,
             policy=config.policy,
@@ -373,6 +421,7 @@ class ServeEngine:
             machine=machine,
             health=(config.degrade.health
                     if config.degrade is not None else None),
+            placement=self.placement,
         )
         #: online burn estimator feeding proactive shedding (degrade only)
         self.burn: OnlineBurn | None = None
@@ -602,6 +651,14 @@ class ServeEngine:
             )
 
     def _on_close(self, batch: Batch, now: float) -> None:
+        if self.placement is not None:
+            # batch close is the deterministic promotion point shared by
+            # replay and gateway; staging charges land on cluster
+            # timelines, so EDF needs a pull opportunity at each end
+            staged = self.placement.on_close(batch.key, self.sched, now)
+            if self.config.policy == "edf":
+                for _cluster, _start, end in staged:
+                    self._push(end, "free", None)
         if self.config.policy == "edf":
             execution = self._execute(batch, now, None)
             deadline = batch.deadline_s
@@ -613,10 +670,13 @@ class ServeEngine:
             return
         # eager policies bind the backend first so fault attempts can be
         # attributed to (and re-routed off) a concrete cluster
-        backend = self.sched.pick_backend(now)
+        backend = self.sched.pick_backend(
+            now, key=batch.key if self.placement is not None else None
+        )
         execution = self._execute(batch, now, backend)
         if execution.backend is not None:
             backend = execution.backend
+        self._apply_residency(batch, execution, backend, now)
         start = max(now, backend.busy_until_s)
         if start > now:
             self._push(start, "start", batch.n_items)
@@ -625,12 +685,31 @@ class ServeEngine:
             self._gauge_queue()
         self._finalize(batch, execution, backend, start)
 
+    def _apply_residency(
+        self, batch: Batch, execution: _Execution, backend, now: float
+    ) -> None:
+        """Let a batch bound to a replica holder skip its B staging.
+
+        Residency is decided against the *final* backend (after any
+        health-aware fault re-route), so a batch moved off a holder
+        honestly pays its re-stage.
+        """
+        if self.placement is not None and self.placement.use_replica(
+            batch.key, backend.idx, now
+        ):
+            execution.stage_s = execution.stage_nob_s
+            execution.b_resident = True
+
     def _edf_pull(self, now: float) -> None:
         while self._ready:
-            backend = self.sched.idle_backend(now)
+            # the head batch is the one an idle backend would pull, so
+            # its key steers the idle-holder preference
+            key = self._ready[0][3].key if self.placement is not None else None
+            backend = self.sched.idle_backend(now, key=key)
             if backend is None:
                 return
             _dl, _cs, _bid, batch, execution = heapq.heappop(self._ready)
+            self._apply_residency(batch, execution, backend, now)
             self.pending -= batch.n_items
             self._gauge_queue()
             self._finalize(batch, execution, backend, now)
@@ -678,6 +757,7 @@ class ServeEngine:
         c_bytes = sum(r.shape.m * r.shape.n for r in batch.requests) * FP32
         b_bytes = k * n * FP32
         stage_s = (a_bytes + b_bytes + 2 * c_bytes) / cpu_bw
+        stage_nob_s = (a_bytes + 2 * c_bytes) / cpu_bw
 
         lost_s = 0.0
         redispatches = 0
@@ -736,6 +816,7 @@ class ServeEngine:
                         ok=False,
                         tune_s=tune_s,
                         stage_s=stage_s,
+                        stage_nob_s=stage_nob_s,
                         lost_s=lost_s,
                         redispatches=redispatches,
                         error=f"{type(exc).__name__}: {exc}",
@@ -774,6 +855,7 @@ class ServeEngine:
             gemm_s=result.seconds,
             tune_s=tune_s,
             stage_s=stage_s,
+            stage_nob_s=stage_nob_s,
             lost_s=lost_s,
             redispatches=redispatches,
             repaired=repaired,
@@ -815,6 +897,7 @@ class ServeEngine:
             lost_s=execution.lost_s,
             redispatches=execution.redispatches,
             request_ids=[r.req_id for r in batch.requests],
+            b_resident=execution.b_resident,
         ))
         if m is not None:
             m.counter("serve/batches").inc()
@@ -1095,6 +1178,10 @@ def assemble_report(
         verify_repaired=engine.verify_repaired,
         redispatches=engine.redispatches,
         degrade=degrade_report,
+        placement=(
+            engine.placement.report()
+            if engine.placement is not None else None
+        ),
     )
 
 
